@@ -1,0 +1,60 @@
+// Ablation — the batch-resize factor alpha of Adaptive Hogbatch
+// (Algorithm 2; the paper fixes alpha = 2 "set by default").
+//
+// Sweeps alpha and reports convergence and update balance; the expected
+// picture is robustness around 2 (small alpha adapts too slowly, huge
+// alpha overshoots between the thresholds).
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/csv_writer.hpp"
+#include "bench_common.hpp"
+
+using namespace hetsgd;
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::int64_t units = 48;
+  double epochs = 12.0;
+  std::string dataset_name = "covtype";
+  CliParser cli("ablation_alpha", "sweep Adaptive Hogbatch's alpha");
+  cli.add_double("scale", &scale, "multiplier on bench dataset scales");
+  cli.add_int("units", &units, "hidden units per layer");
+  cli.add_double("epochs", &epochs, "budget in GPU mini-batch epochs");
+  cli.add_string("dataset", &dataset_name, "dataset to sweep on");
+  if (!cli.parse(argc, argv)) return 0;
+
+  CsvWriter csv(bench::result_path("ablation_alpha.csv"),
+                {"alpha", "final_loss", "cpu_share", "epochs"});
+
+  for (const auto& b : bench::evaluation_suite(scale, units)) {
+    if (b.name != dataset_name) continue;
+    data::Dataset probe = bench::build_dataset(b, 1);
+    const double budget =
+        bench::budget_for_gpu_epochs(b, probe.example_count(), epochs);
+
+    std::printf("Ablation (%s): Adaptive Hogbatch alpha sweep "
+                "(paper default: 2)\n", b.name.c_str());
+    std::printf("%8s %12s %12s %10s\n", "alpha", "final loss", "cpu share",
+                "epochs");
+    for (double alpha : {1.25, 1.5, 2.0, 4.0, 8.0}) {
+      data::Dataset dataset = bench::build_dataset(b, 1);
+      core::TrainingConfig config =
+          bench::build_config(b, core::Algorithm::kAdaptiveHogbatch, budget);
+      config.alpha = alpha;
+      core::Trainer trainer(std::move(dataset), config);
+      core::TrainingResult r = trainer.run();
+      const double total =
+          static_cast<double>(r.cpu_updates + r.gpu_updates);
+      const double cpu_share =
+          total > 0 ? static_cast<double>(r.cpu_updates) / total : 0.0;
+      std::printf("%8.2f %12.4f %11.1f%% %10.2f\n", alpha, r.final_loss,
+                  100.0 * cpu_share, r.epochs);
+      csv.row(std::vector<double>{alpha, r.final_loss, cpu_share, r.epochs});
+    }
+  }
+  std::printf("\nresults: %s\n",
+              bench::result_path("ablation_alpha.csv").c_str());
+  return 0;
+}

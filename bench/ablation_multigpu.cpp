@@ -1,0 +1,69 @@
+// Extension — multi-GPU scaling (the paper's stated future work: "we plan
+// to scale these algorithms to multi-GPU architectures").
+//
+// Runs CPU+GPU and Adaptive Hogbatch with 1/2/4 GPU workers against one
+// shared model and reports throughput (epochs per virtual second) and
+// convergence. The p3.16xlarge the paper rents has 8 V100s, so this is the
+// natural next step of its evaluation.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/csv_writer.hpp"
+#include "bench_common.hpp"
+
+using namespace hetsgd;
+using core::Algorithm;
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::int64_t units = 48;
+  double epochs = 10.0;
+  std::string dataset_name = "covtype";
+  CliParser cli("ablation_multigpu", "multi-GPU worker scaling");
+  cli.add_double("scale", &scale, "multiplier on bench dataset scales");
+  cli.add_int("units", &units, "hidden units per layer");
+  cli.add_double("epochs", &epochs, "budget in single-GPU mini-batch epochs");
+  cli.add_string("dataset", &dataset_name, "dataset to sweep on");
+  if (!cli.parse(argc, argv)) return 0;
+
+  CsvWriter csv(bench::result_path("ablation_multigpu.csv"),
+                {"algorithm", "gpus", "epochs_per_vsecond", "final_loss",
+                 "gpu_updates"});
+
+  for (const auto& b : bench::evaluation_suite(scale, units)) {
+    if (b.name != dataset_name) continue;
+    data::Dataset probe = bench::build_dataset(b, 1);
+    const double budget =
+        bench::budget_for_gpu_epochs(b, probe.example_count(), epochs);
+
+    std::printf("Multi-GPU scaling (%s), budget %.3g vs\n", b.name.c_str(),
+                budget);
+    std::printf("%-14s %6s %18s %12s %12s\n", "algorithm", "gpus",
+                "epochs/vsecond", "final loss", "gpu updates");
+    for (auto a : {Algorithm::kMinibatchGpu, Algorithm::kCpuGpuHogbatch,
+                   Algorithm::kAdaptiveHogbatch}) {
+      for (int gpus : {1, 2, 4}) {
+        data::Dataset dataset = bench::build_dataset(b, 1);
+        core::TrainingConfig config = bench::build_config(b, a, budget);
+        config.gpu.worker_count = gpus;
+        // Concurrent replica merges multiply the effective step size;
+        // rescale the rate with the worker count (standard practice) so
+        // the sweep measures throughput, not divergence.
+        config.learning_rate /= static_cast<double>(gpus);
+        core::Trainer trainer(std::move(dataset), config);
+        core::TrainingResult r = trainer.run();
+        const double rate = r.epochs / std::max(r.total_vtime, 1e-12);
+        std::printf("%-14s %6d %18.2f %12.4f %12llu\n",
+                    core::algorithm_name(a), gpus, rate, r.final_loss,
+                    static_cast<unsigned long long>(r.gpu_updates));
+        csv.row(std::vector<std::string>{
+            core::algorithm_name(a), std::to_string(gpus),
+            std::to_string(rate), std::to_string(r.final_loss),
+            std::to_string(r.gpu_updates)});
+      }
+    }
+  }
+  std::printf("\nresults: %s\n",
+              bench::result_path("ablation_multigpu.csv").c_str());
+  return 0;
+}

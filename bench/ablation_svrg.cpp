@@ -1,0 +1,84 @@
+// Ablation — SVRG vs plain mini-batch SGD vs the heterogeneous mixture.
+//
+// §II grounds CPU+GPU Hogbatch in the SVRG family: many noisy steps plus
+// rare accurate "compass" jumps. This bench runs the sequential SVRG
+// baseline next to the mini-batch reference and Adaptive Hogbatch on the
+// same dataset and budget, comparing loss per epoch-equivalent of gradient
+// work (SVRG pays 2x per inner step plus full passes) and per virtual
+// second.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/csv_writer.hpp"
+#include "core/svrg.hpp"
+#include "bench_common.hpp"
+
+using namespace hetsgd;
+using core::Algorithm;
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::int64_t units = 48;
+  double epochs = 12.0;
+  std::string dataset_name = "covtype";
+  CliParser cli("ablation_svrg", "SVRG baseline vs SGD vs heterogeneous");
+  cli.add_double("scale", &scale, "multiplier on bench dataset scales");
+  cli.add_int("units", &units, "hidden units per layer");
+  cli.add_double("epochs", &epochs, "budget in GPU mini-batch epochs");
+  cli.add_string("dataset", &dataset_name, "dataset to profile");
+  if (!cli.parse(argc, argv)) return 0;
+
+  CsvWriter csv(bench::result_path("ablation_svrg.csv"),
+                {"method", "vtime", "epochs", "loss"});
+
+  for (const auto& b : bench::evaluation_suite(scale, units)) {
+    if (b.name != dataset_name) continue;
+    data::Dataset probe = bench::build_dataset(b, 1);
+    const double budget =
+        bench::budget_for_gpu_epochs(b, probe.example_count(), epochs);
+
+    std::printf("SVRG ablation (%s), budget %.3g vs\n", b.name.c_str(),
+                budget);
+    std::printf("%-12s %12s %10s %12s %12s\n", "method", "final loss",
+                "epochs", "updates", "snapshots");
+
+    // SVRG.
+    {
+      data::Dataset dataset = bench::build_dataset(b, 1);
+      core::TrainingConfig config =
+          bench::build_config(b, Algorithm::kTensorFlow, budget);
+      core::SvrgOptions options;
+      options.batch = b.gpu_min_batch;
+      options.eval_interval_vseconds = budget / 30.0;
+      core::SvrgResult r = core::run_svrg(dataset, config, options);
+      std::printf("%-12s %12.4f %10.2f %12llu %12llu\n", "svrg",
+                  r.curve.back().loss, r.epochs,
+                  static_cast<unsigned long long>(r.inner_updates),
+                  static_cast<unsigned long long>(r.snapshots));
+      for (const auto& p : r.curve) {
+        csv.row(std::vector<std::string>{"svrg", std::to_string(p.vtime),
+                                         std::to_string(p.epochs),
+                                         std::to_string(p.loss)});
+      }
+    }
+
+    // Plain mini-batch SGD and the heterogeneous mixture.
+    for (auto a : {Algorithm::kTensorFlow, Algorithm::kAdaptiveHogbatch}) {
+      core::TrainingResult r = bench::run_cell(b, a, budget, 1);
+      std::printf("%-12s %12.4f %10.2f %12llu %12s\n",
+                  core::algorithm_name(a), r.final_loss, r.epochs,
+                  static_cast<unsigned long long>(r.cpu_updates +
+                                                  r.gpu_updates),
+                  "-");
+      for (const auto& p : r.loss_curve) {
+        csv.row(std::vector<std::string>{core::algorithm_name(a),
+                                         std::to_string(p.vtime),
+                                         std::to_string(p.epochs),
+                                         std::to_string(p.loss)});
+      }
+    }
+  }
+  std::printf("\nresults: %s\n",
+              bench::result_path("ablation_svrg.csv").c_str());
+  return 0;
+}

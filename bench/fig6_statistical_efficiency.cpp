@@ -1,0 +1,107 @@
+// Figure 6 — normalized loss for epochs to convergence (statistical
+// efficiency).
+//
+// Same runs as Figure 5 but plotted against epochs-equivalent of processed
+// examples. Hogwild CPU is excluded, as in the paper ("the curve
+// corresponding to Hogwild CPU is not included because of the extremely
+// long time it takes to perform the required number of epochs").
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/csv_writer.hpp"
+#include "bench_common.hpp"
+
+using namespace hetsgd;
+using core::Algorithm;
+
+namespace {
+
+// Loss after `e` epochs (step interpolation on the curve's epoch axis).
+double loss_at_epoch(const core::TrainingResult& r, double e) {
+  double loss = r.loss_curve.empty() ? 0.0 : r.loss_curve.front().loss;
+  for (const auto& p : r.loss_curve) {
+    if (p.epochs > e) break;
+    loss = p.loss;
+  }
+  return loss;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::int64_t units = 48;
+  double epochs = 20.0;
+  CliParser cli("fig6_statistical_efficiency",
+                "Figure 6: normalized loss vs epochs");
+  cli.add_double("scale", &scale, "multiplier on bench dataset scales");
+  cli.add_int("units", &units, "hidden units per layer");
+  cli.add_double("epochs", &epochs, "budget in GPU mini-batch epochs");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // The four algorithms of Fig. 6 (no Hogwild CPU).
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kMinibatchGpu, Algorithm::kCpuGpuHogbatch,
+      Algorithm::kAdaptiveHogbatch, Algorithm::kTensorFlow};
+
+  CsvWriter csv(bench::result_path("fig6_statistical_efficiency.csv"),
+                {"dataset", "algorithm", "epochs", "normalized_loss"});
+
+  for (const auto& b : bench::evaluation_suite(scale, units)) {
+    data::Dataset probe = bench::build_dataset(b, 1);
+    const double budget =
+        bench::budget_for_gpu_epochs(b, probe.example_count(), epochs);
+
+    std::vector<core::TrainingResult> results;
+    for (auto a : algorithms) {
+      results.push_back(bench::run_cell(b, a, budget, 1));
+    }
+    const double basis = bench::min_loss(results);
+
+    // Epoch checkpoints up to the fewest epochs any algorithm completed,
+    // so the rows are comparable.
+    double max_epochs = 1e300;
+    for (const auto& r : results) {
+      max_epochs = std::min(max_epochs, r.epochs);
+    }
+
+    std::printf("\nFig 6 (%s): normalized loss per epoch "
+                "(basis %.4f, comparable to %.1f epochs)\n",
+                b.name.c_str(), basis, max_epochs);
+    std::printf("%-14s", "epoch:");
+    const int kSamples = 8;
+    for (int s = 1; s <= kSamples; ++s) {
+      std::printf(" %6.2f", max_epochs * s / kSamples);
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < algorithms.size(); ++i) {
+      std::printf("%-14s", core::algorithm_name(algorithms[i]));
+      for (int s = 1; s <= kSamples; ++s) {
+        const double e = max_epochs * s / kSamples;
+        std::printf(" %6.3f", loss_at_epoch(results[i], e) / basis);
+      }
+      std::printf("\n");
+      for (const auto& p : results[i].loss_curve) {
+        csv.row(std::vector<std::string>{
+            b.name, core::algorithm_name(algorithms[i]),
+            std::to_string(p.epochs), std::to_string(p.loss / basis)});
+      }
+    }
+
+    // Shape check reported by the paper: mini-batch (GPU) and TensorFlow
+    // overlap; the heterogeneous algorithms sit at or below them.
+    const double e_half = max_epochs / 2;
+    std::printf("at %.1f epochs: gpu=%.3f tf=%.3f (expected to overlap), "
+                "cpu+gpu=%.3f adaptive=%.3f\n", e_half,
+                loss_at_epoch(results[0], e_half) / basis,
+                loss_at_epoch(results[3], e_half) / basis,
+                loss_at_epoch(results[1], e_half) / basis,
+                loss_at_epoch(results[2], e_half) / basis);
+  }
+  std::printf("\nresults: %s\n",
+              bench::result_path("fig6_statistical_efficiency.csv").c_str());
+  return 0;
+}

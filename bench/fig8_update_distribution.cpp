@@ -1,0 +1,61 @@
+// Figure 8 — distribution of model updates between CPU and GPU for the two
+// heterogeneous algorithms on all four datasets.
+//
+// Expected shape (§VII-B): under CPU+GPU Hogbatch the CPU performs almost
+// all updates (maximum batch-size gap); under Adaptive Hogbatch the
+// distribution moves toward uniformity.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/csv_writer.hpp"
+#include "bench_common.hpp"
+
+using namespace hetsgd;
+using core::Algorithm;
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::int64_t units = 48;
+  double epochs = 12.0;
+  CliParser cli("fig8_update_distribution",
+                "Figure 8: CPU/GPU model-update shares");
+  cli.add_double("scale", &scale, "multiplier on bench dataset scales");
+  cli.add_int("units", &units, "hidden units per layer");
+  cli.add_double("epochs", &epochs, "budget in GPU mini-batch epochs");
+  if (!cli.parse(argc, argv)) return 0;
+
+  CsvWriter csv(bench::result_path("fig8_update_distribution.csv"),
+                {"dataset", "algorithm", "cpu_updates", "gpu_updates",
+                 "cpu_share"});
+
+  std::printf("Fig 8: model-update distribution (CPU%% / GPU%%)\n");
+  std::printf("%-11s %22s %22s\n", "dataset", "cpu+gpu hogbatch",
+              "adaptive hogbatch");
+  for (const auto& b : bench::evaluation_suite(scale, units)) {
+    data::Dataset probe = bench::build_dataset(b, 1);
+    const double budget =
+        bench::budget_for_gpu_epochs(b, probe.example_count(), epochs);
+    std::printf("%-11s", b.name.c_str());
+    for (auto a :
+         {Algorithm::kCpuGpuHogbatch, Algorithm::kAdaptiveHogbatch}) {
+      core::TrainingResult r = bench::run_cell(b, a, budget, 1);
+      const double total =
+          static_cast<double>(r.cpu_updates + r.gpu_updates);
+      const double cpu_share =
+          total > 0 ? static_cast<double>(r.cpu_updates) / total : 0.0;
+      std::printf("        %5.1f%% / %5.1f%%", 100.0 * cpu_share,
+                  100.0 * (1.0 - cpu_share));
+      csv.row(std::vector<std::string>{
+          b.name, core::algorithm_name(a), std::to_string(r.cpu_updates),
+          std::to_string(r.gpu_updates), std::to_string(cpu_share)});
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: cpu+gpu skews heavily to CPU; adaptive "
+              "approaches ~50/50\n");
+  std::printf("results: %s\n",
+              bench::result_path("fig8_update_distribution.csv").c_str());
+  return 0;
+}

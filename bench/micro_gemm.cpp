@@ -1,0 +1,87 @@
+// Microbenchmark — host GEMM throughput (the MKL-replacement kernel).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace hetsgd;
+using tensor::Index;
+using tensor::Matrix;
+using tensor::Trans;
+
+void BM_GemmNN(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  Matrix a(n, n), b(n, n), c(n, n);
+  tensor::fill_normal(a.view(), rng, 0, 1);
+  tensor::fill_normal(b.view(), rng, 0, 1);
+  for (auto _ : state) {
+    tensor::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0,
+                 c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      tensor::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT_MlpForwardShape(benchmark::State& state) {
+  // batch x 512 times (512 x 512)^T: the paper's dominant layer shape.
+  const Index batch = state.range(0);
+  Rng rng(2);
+  Matrix x(batch, 512), w(512, 512), out(batch, 512);
+  tensor::fill_normal(x.view(), rng, 0, 1);
+  tensor::fill_normal(w.view(), rng, 0, 1);
+  for (auto _ : state) {
+    tensor::matmul_nt(x.view(), w.view(), out.view());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      tensor::gemm_flops(batch, 512, 512) *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNT_MlpForwardShape)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_GemmVsNaive(benchmark::State& state) {
+  const Index n = 128;
+  Rng rng(3);
+  Matrix a(n, n), b(n, n), c(n, n);
+  tensor::fill_normal(a.view(), rng, 0, 1);
+  tensor::fill_normal(b.view(), rng, 0, 1);
+  const bool naive = state.range(0) != 0;
+  for (auto _ : state) {
+    if (naive) {
+      tensor::gemm_naive(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0,
+                         c.view());
+    } else {
+      tensor::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0,
+                   c.view());
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmVsNaive)->Arg(0)->Arg(1);
+
+void BM_Axpy(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(4);
+  Matrix x(1, n), y(1, n);
+  tensor::fill_normal(x.view(), rng, 0, 1);
+  for (auto _ : state) {
+    tensor::axpy(0.001, x.view(), y.view());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          2 * sizeof(tensor::Scalar));
+}
+BENCHMARK(BM_Axpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Plot the benchmark CSVs under bench_results/ as the paper's figures.
+
+Requires matplotlib. Usage:
+
+    python3 scripts/plot_results.py [--results bench_results] [--out plots]
+
+Produces fig5 (loss vs time, per dataset), fig6 (loss vs epochs), fig7
+(utilization timelines), and fig8 (update distribution bars) as PNGs —
+the visual counterparts of the tables the bench binaries print.
+"""
+
+import argparse
+import collections
+import csv
+import os
+import sys
+
+
+def read_rows(path):
+    with open(path, newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def series_by(rows, keys, x_field, y_field):
+    out = collections.defaultdict(lambda: ([], []))
+    for row in rows:
+        key = tuple(row[k] for k in keys)
+        out[key][0].append(float(row[x_field]))
+        out[key][1].append(float(row[y_field]))
+    return out
+
+
+def plot_fig5(results, outdir, plt):
+    path = os.path.join(results, "fig5_convergence.csv")
+    if not os.path.exists(path):
+        return
+    rows = read_rows(path)
+    datasets = sorted({r["dataset"] for r in rows})
+    fig, axes = plt.subplots(1, len(datasets), figsize=(5 * len(datasets), 4))
+    if len(datasets) == 1:
+        axes = [axes]
+    for ax, dataset in zip(axes, datasets):
+        sub = [r for r in rows if r["dataset"] == dataset]
+        for (alg,), (xs, ys) in sorted(
+                series_by(sub, ["algorithm"], "vtime",
+                          "normalized_loss").items()):
+            ax.plot(xs, ys, label=alg)
+        ax.set_title(f"Fig 5: {dataset}")
+        ax.set_xlabel("virtual seconds")
+        ax.set_ylabel("normalized loss")
+        ax.set_yscale("log")
+        ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig5_convergence.png"), dpi=120)
+    print("wrote fig5_convergence.png")
+
+
+def plot_fig6(results, outdir, plt):
+    path = os.path.join(results, "fig6_statistical_efficiency.csv")
+    if not os.path.exists(path):
+        return
+    rows = read_rows(path)
+    datasets = sorted({r["dataset"] for r in rows})
+    fig, axes = plt.subplots(1, len(datasets), figsize=(5 * len(datasets), 4))
+    if len(datasets) == 1:
+        axes = [axes]
+    for ax, dataset in zip(axes, datasets):
+        sub = [r for r in rows if r["dataset"] == dataset]
+        for (alg,), (xs, ys) in sorted(
+                series_by(sub, ["algorithm"], "epochs",
+                          "normalized_loss").items()):
+            ax.plot(xs, ys, label=alg)
+        ax.set_title(f"Fig 6: {dataset}")
+        ax.set_xlabel("epochs")
+        ax.set_ylabel("normalized loss")
+        ax.set_yscale("log")
+        ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig6_statistical_efficiency.png"),
+                dpi=120)
+    print("wrote fig6_statistical_efficiency.png")
+
+
+def plot_fig7(results, outdir, plt):
+    path = os.path.join(results, "fig7_utilization.csv")
+    if not os.path.exists(path):
+        return
+    rows = read_rows(path)
+    algorithms = sorted({r["algorithm"] for r in rows})
+    fig, axes = plt.subplots(len(algorithms), 1,
+                             figsize=(8, 2.2 * len(algorithms)))
+    if len(algorithms) == 1:
+        axes = [axes]
+    for ax, alg in zip(axes, algorithms):
+        sub = [r for r in rows if r["algorithm"] == alg]
+        for (worker,), (xs, ys) in sorted(
+                series_by(sub, ["worker"], "bucket_t",
+                          "utilization").items()):
+            ax.step(xs, [100 * y for y in ys], where="post", label=worker)
+        ax.set_title(alg, fontsize=9)
+        ax.set_ylabel("util %")
+        ax.set_ylim(0, 105)
+        ax.legend(fontsize=7)
+    axes[-1].set_xlabel("virtual seconds")
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig7_utilization.png"), dpi=120)
+    print("wrote fig7_utilization.png")
+
+
+def plot_fig8(results, outdir, plt):
+    path = os.path.join(results, "fig8_update_distribution.csv")
+    if not os.path.exists(path):
+        return
+    rows = read_rows(path)
+    datasets = sorted({r["dataset"] for r in rows})
+    algorithms = sorted({r["algorithm"] for r in rows})
+    fig, ax = plt.subplots(figsize=(7, 4))
+    width = 0.35
+    for i, alg in enumerate(algorithms):
+        shares = []
+        for d in datasets:
+            share = next((float(r["cpu_share"]) for r in rows
+                          if r["dataset"] == d and r["algorithm"] == alg),
+                         0.0)
+            shares.append(100 * share)
+        xs = [j + (i - 0.5) * width for j in range(len(datasets))]
+        ax.bar(xs, shares, width, label=f"{alg} (CPU share)")
+    ax.set_xticks(range(len(datasets)))
+    ax.set_xticklabels(datasets)
+    ax.set_ylabel("CPU share of model updates (%)")
+    ax.set_title("Fig 8: update distribution")
+    ax.axhline(50, linestyle="--", linewidth=0.8, color="gray")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig8_update_distribution.png"), dpi=120)
+    print("wrote fig8_update_distribution.png")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", default="bench_results")
+    parser.add_argument("--out", default="plots")
+    args = parser.parse_args()
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+    os.makedirs(args.out, exist_ok=True)
+    plot_fig5(args.results, args.out, plt)
+    plot_fig6(args.results, args.out, plt)
+    plot_fig7(args.results, args.out, plt)
+    plot_fig8(args.results, args.out, plt)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table/figure of the paper.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "===== $b"
+    "$b"
+  fi
+done
+
+echo "CSV series: bench_results/"
+echo "Optional: python3 scripts/plot_results.py  # renders the figures"

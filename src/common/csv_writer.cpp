@@ -1,0 +1,43 @@
+#include "common/csv_writer.hpp"
+
+#include <cstdio>
+
+#include "common/macros.hpp"
+
+namespace hetsgd {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : path_(path), out_(path), width_(columns.size()) {
+  HETSGD_ASSERT(out_.good(), "failed to open CSV output file");
+  HETSGD_ASSERT(!columns.empty(), "CSV requires at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  HETSGD_ASSERT(values.size() == width_, "CSV row width mismatch");
+  char buf[32];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    std::snprintf(buf, sizeof(buf), "%.10g", values[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  HETSGD_ASSERT(values.size() == width_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace hetsgd

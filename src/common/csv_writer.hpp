@@ -1,0 +1,35 @@
+// CSV emission for benchmark series (one file per figure/table).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hetsgd {
+
+// Writes a header row once, then data rows. Values are formatted with
+// enough precision to round-trip doubles. Not thread-safe; benchmarks emit
+// from the harness thread only.
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header. Aborts on I/O failure —
+  // a benchmark that silently loses its output is worse than a crash.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  // Appends one row; the count must match the header width.
+  void row(const std::vector<double>& values);
+
+  // Mixed-type row: strings written verbatim.
+  void row(const std::vector<std::string>& values);
+
+  void flush();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace hetsgd

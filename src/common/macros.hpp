@@ -1,0 +1,31 @@
+// Core assertion and utility macros shared across the library.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// HETSGD_ASSERT is active in all build types: the framework is a research
+// testbed and silent corruption (e.g. a batch range past the dataset end)
+// is far more expensive than the branch.
+#define HETSGD_ASSERT(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "[hetsgd] assertion failed: %s\n  at %s:%d\n  %s\n", \
+                   #cond, __FILE__, __LINE__, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define HETSGD_UNREACHABLE(msg)                                              \
+  do {                                                                       \
+    std::fprintf(stderr, "[hetsgd] unreachable: %s\n  at %s:%d\n", msg,      \
+                 __FILE__, __LINE__);                                        \
+    std::abort();                                                            \
+  } while (0)
+
+namespace hetsgd {
+
+// Cache line size used for alignment of concurrently-written data.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace hetsgd

@@ -1,0 +1,33 @@
+// Wall-clock timing utilities.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hetsgd {
+
+// Monotonic stopwatch. Wall time is only used for utilization sampling and
+// progress reporting; experiment time axes run on gpusim::VirtualClock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t elapsed_micros() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hetsgd

@@ -1,0 +1,120 @@
+// Lock-free multi-producer single-consumer queue (Vyukov's algorithm)
+// with blocking consumer support.
+//
+// This is the hot-path channel of the framework: every worker produces
+// ScheduleWork messages into the coordinator's mailbox, and the coordinator
+// is the single consumer — exactly the MPSC shape. Producers are wait-free
+// except for one exchange; the consumer never takes a lock unless it has to
+// sleep.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::concurrent {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  // Multi-producer push. Returns false if the queue has been closed.
+  bool push(T value) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    Node* node = new Node(std::move(value));
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+    // Wake the consumer if it is sleeping. The flag avoids taking the mutex
+    // on every push.
+    if (sleeping_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      wake_cv_.notify_one();
+    }
+    return true;
+  }
+
+  // Single-consumer non-blocking pop.
+  std::optional<T> try_pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    std::optional<T> value(std::move(next->value));
+    tail_ = next;
+    delete tail;
+    return value;
+  }
+
+  // Single-consumer blocking pop; returns nullopt once the queue is closed
+  // and fully drained.
+  std::optional<T> pop() {
+    for (;;) {
+      if (auto v = try_pop()) return v;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Final drain: a producer may have completed a push between our
+        // try_pop and the closed check.
+        if (auto v = try_pop()) return v;
+        return std::nullopt;
+      }
+      // Sleep until a producer signals. Double-check after setting the
+      // sleeping flag to close the missed-wakeup window.
+      sleeping_.store(true, std::memory_order_release);
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      if (empty_unsynchronized() && !closed_.load(std::memory_order_acquire)) {
+        wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      sleeping_.store(false, std::memory_order_release);
+    }
+  }
+
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_cv_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  struct Node {
+    Node() : next(nullptr) {}
+    explicit Node(T v) : next(nullptr), value(std::move(v)) {}
+    std::atomic<Node*> next;
+    T value{};
+  };
+
+  bool empty_unsynchronized() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  alignas(hetsgd::kCacheLineSize) std::atomic<Node*> head_;  // producers
+  alignas(hetsgd::kCacheLineSize) Node* tail_;               // consumer only
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> sleeping_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace hetsgd::concurrent

@@ -1,0 +1,50 @@
+// Cache-line-padded per-shard counters.
+//
+// The update ledger counts model updates from many Hogwild lanes at high
+// rate; a single atomic would serialize them on one cache line. Each lane
+// bumps its own shard, and readers sum.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::concurrent {
+
+class ShardedCounter {
+ public:
+  explicit ShardedCounter(std::size_t shards) : shards_(shards) {
+    HETSGD_ASSERT(shards > 0, "need at least one shard");
+  }
+
+  void add(std::size_t shard, std::uint64_t delta = 1) {
+    shards_[shard % shards_.size()].value.fetch_add(delta,
+                                                    std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() {
+    for (auto& s : shards_) {
+      s.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct alignas(hetsgd::kCacheLineSize) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::vector<Shard> shards_;
+};
+
+}  // namespace hetsgd::concurrent

@@ -1,0 +1,39 @@
+// Sense-reversing spin barrier for tightly-coupled Hogwild lanes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::concurrent {
+
+// All `parties` threads must call arrive_and_wait; the last arrival flips
+// the sense and releases the rest. Spins with yield, so it is only suitable
+// for short rendezvous (sub-batch boundaries), not long waits.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) : parties_(parties) {
+    HETSGD_ASSERT(parties > 0, "barrier requires at least one party");
+  }
+
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace hetsgd::concurrent

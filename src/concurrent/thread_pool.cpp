@@ -1,0 +1,87 @@
+#include "concurrent/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::concurrent {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t helpers = threads < 1 ? 0 : threads - 1;
+  threads_.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    // Lane 0 is the calling thread in run_on_all; helpers are 1..threads-1.
+    threads_.emplace_back([this, lane = i + 1] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
+  const std::size_t helpers = threads_.size();
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      HETSGD_ASSERT(job_ == nullptr, "ThreadPool::run_on_all is not reentrant");
+      job_ = &fn;
+      remaining_ = helpers;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+  }
+  fn(0);
+  if (helpers > 0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t,
+                                            std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t lanes = threads_.size() + 1;
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+  std::function<void(std::size_t)> job = [&](std::size_t lane) {
+    const std::size_t begin = lane * chunk;
+    if (begin >= n) return;
+    const std::size_t end = std::min(begin + chunk, n);
+    fn(begin, end, lane);
+  };
+  run_on_all(job);
+}
+
+}  // namespace hetsgd::concurrent

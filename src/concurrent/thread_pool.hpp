@@ -1,0 +1,56 @@
+// Fixed-size thread pool with a parallel_for used by the CPU worker.
+//
+// The paper's CPU worker runs t OpenMP threads, each computing a gradient
+// on its own sub-batch and applying it Hogwild-style. This pool is the
+// explicit-thread equivalent: the lanes are long-lived (created once per
+// worker), so per-batch dispatch is two atomics per lane rather than a
+// thread spawn.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetsgd::concurrent {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+  // Runs fn(lane) on every lane concurrently (the calling thread executes
+  // lane 0) and blocks until all lanes finish. Not reentrant.
+  void run_on_all(const std::function<void(std::size_t lane)>& fn);
+
+  // Splits [0, n) into contiguous chunks, one per lane, and runs
+  // fn(begin, end, lane) concurrently. Lanes whose chunk is empty are
+  // skipped. Blocks until done.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t begin, std::size_t end,
+                                             std::size_t lane)>& fn);
+
+ private:
+  void worker_loop(std::size_t lane);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hetsgd::concurrent

@@ -1,0 +1,88 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::core {
+
+using tensor::Index;
+
+AdaptiveController::AdaptiveController(double alpha) : alpha_(alpha) {
+  HETSGD_ASSERT(alpha > 1.0, "alpha must exceed 1 (default 2)");
+}
+
+void AdaptiveController::register_worker(msg::WorkerId id,
+                                         const WorkerLimits& limits) {
+  HETSGD_ASSERT(id == static_cast<msg::WorkerId>(workers_.size()),
+                "worker ids must be registered densely from 0");
+  HETSGD_ASSERT(limits.quantum >= 1, "quantum must be positive");
+  HETSGD_ASSERT(limits.min >= limits.quantum, "min batch below quantum");
+  HETSGD_ASSERT(limits.min <= limits.max, "min batch exceeds max");
+  HETSGD_ASSERT(limits.initial >= limits.min && limits.initial <= limits.max,
+                "initial batch outside thresholds");
+  State s;
+  s.limits = limits;
+  s.batch = clamp_to_quantum(limits.initial, limits);
+  workers_.push_back(s);
+}
+
+Index AdaptiveController::batch(msg::WorkerId id) const {
+  HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
+                "unknown worker");
+  return workers_[static_cast<std::size_t>(id)].batch;
+}
+
+std::uint64_t AdaptiveController::updates(msg::WorkerId id) const {
+  HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
+                "unknown worker");
+  return workers_[static_cast<std::size_t>(id)].updates;
+}
+
+Index AdaptiveController::clamp_to_quantum(Index b,
+                                           const WorkerLimits& limits) const {
+  // Round to the nearest quantum multiple, then clamp into [min, max].
+  const Index q = limits.quantum;
+  Index rounded = (b + q / 2) / q * q;
+  if (rounded < q) rounded = q;
+  return std::clamp(rounded, limits.min, limits.max);
+}
+
+Index AdaptiveController::on_request(msg::WorkerId id, std::uint64_t updates) {
+  HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
+                "unknown worker");
+  State& e = workers_[static_cast<std::size_t>(id)];
+  HETSGD_ASSERT(updates >= e.updates, "update counts must be monotone");
+  e.updates = updates;
+
+  // min_u / max_u over the other workers.
+  std::uint64_t min_u = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_u = 0;
+  bool any_other = false;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (static_cast<msg::WorkerId>(i) == id) continue;
+    min_u = std::min(min_u, workers_[i].updates);
+    max_u = std::max(max_u, workers_[i].updates);
+    any_other = true;
+  }
+  if (!any_other) {
+    return e.batch;  // single worker: nothing to balance against
+  }
+
+  if (e.updates < min_u) {
+    // Slowest worker: shrink the batch to produce updates faster.
+    const Index shrunk = static_cast<Index>(
+        std::floor(static_cast<double>(e.batch) / alpha_));
+    e.batch = clamp_to_quantum(std::max(shrunk, e.limits.min), e.limits);
+  } else if (e.updates > max_u) {
+    // Fastest worker: grow the batch to slow its update rate.
+    const Index grown = static_cast<Index>(
+        std::ceil(static_cast<double>(e.batch) * alpha_));
+    e.batch = clamp_to_quantum(std::min(grown, e.limits.max), e.limits);
+  }
+  return e.batch;
+}
+
+}  // namespace hetsgd::core

@@ -1,0 +1,64 @@
+// Adaptive Hogbatch batch-size controller — Algorithm 2's ScheduleWork
+// logic (§VI-C).
+//
+// On every work request from worker E, the coordinator compares E's
+// cumulative update count u^E against the minimum and maximum counts of
+// the *other* workers:
+//   - u^E < min_u : E is the slowest worker -> speed it up by shrinking
+//     its batch (b^E <- max(b^E / alpha, min_b^E));
+//   - u^E > max_u : E is the fastest worker -> slow it down by growing its
+//     batch (b^E <- min(b^E * alpha, max_b^E)).
+// The thresholds [min_b, max_b] encode the minimum-utilization guarantee
+// (the paper calibrates GPU utilization to ~50% at the lower threshold and
+// ~100% at the upper); alpha defaults to 2 (double/halve). Batch sizes are
+// kept multiples of each worker's quantum (the CPU worker's lane count, so
+// sub-batches stay whole).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "msg/message.hpp"
+#include "tensor/types.hpp"
+
+namespace hetsgd::core {
+
+class AdaptiveController {
+ public:
+  explicit AdaptiveController(double alpha);
+
+  struct WorkerLimits {
+    tensor::Index initial = 0;
+    tensor::Index min = 0;
+    tensor::Index max = 0;
+    tensor::Index quantum = 1;
+  };
+
+  // Registers worker `id` (dense from 0) with its batch thresholds.
+  void register_worker(msg::WorkerId id, const WorkerLimits& limits);
+
+  std::size_t worker_count() const { return workers_.size(); }
+  tensor::Index batch(msg::WorkerId id) const;
+  std::uint64_t updates(msg::WorkerId id) const;
+
+  // Algorithm 2 lines 1-5: records u^E and returns the (possibly resized)
+  // batch for worker E's next ExecuteWork.
+  tensor::Index on_request(msg::WorkerId id, std::uint64_t updates);
+
+  double alpha() const { return alpha_; }
+
+ private:
+  struct State {
+    WorkerLimits limits;
+    tensor::Index batch = 0;
+    std::uint64_t updates = 0;
+  };
+
+  tensor::Index clamp_to_quantum(tensor::Index b,
+                                 const WorkerLimits& limits) const;
+
+  double alpha_;
+  std::vector<State> workers_;
+};
+
+}  // namespace hetsgd::core

@@ -1,0 +1,335 @@
+#include "core/coordinator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/macros.hpp"
+#include "core/cost_model.hpp"
+#include "nn/mlp.hpp"
+
+namespace hetsgd::core {
+
+using tensor::Index;
+
+Coordinator::Coordinator(data::Dataset& dataset, nn::Model& model,
+                         const TrainingConfig& config,
+                         tensor::Index eval_sample)
+    : msg::Actor("coordinator"), dataset_(dataset), model_(model),
+      config_(config),
+      adaptive_enabled_(config.algorithm == Algorithm::kAdaptiveHogbatch),
+      adaptive_(config.alpha), cpu_perf_(config.cpu.spec),
+      gpu_perf_(config.gpu.spec), eval_snapshot_(model),
+      rng_(config.seed ^ 0xc0ffee) {
+  // Copy out the loss-evaluation sample before any shuffling.
+  const Index n = dataset_.example_count();
+  Index sample = eval_sample > 0 ? std::min(eval_sample, n) : n;
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng_.shuffle(idx);
+  eval_x_.resize(sample, dataset_.dim());
+  eval_y_.resize(static_cast<std::size_t>(sample));
+  for (Index i = 0; i < sample; ++i) {
+    const Index src = static_cast<Index>(idx[static_cast<std::size_t>(i)]);
+    const tensor::Scalar* from = dataset_.features().row(src);
+    std::copy(from, from + dataset_.dim(), eval_x_.row(i));
+    eval_y_[static_cast<std::size_t>(i)] =
+        dataset_.labels()[static_cast<std::size_t>(src)];
+  }
+}
+
+void Coordinator::add_worker(msg::Actor& actor, gpusim::DeviceKind kind,
+                             const AdaptiveController::WorkerLimits& limits) {
+  const auto id = static_cast<msg::WorkerId>(workers_.size());
+  WorkerRuntime w;
+  w.actor = &actor;
+  w.kind = kind;
+  w.limits = limits;
+  w.waiting = true;  // every worker starts idle and ready for work
+  workers_.push_back(w);
+  ledger_.register_worker(id, actor.name(), kind, limits.initial);
+  adaptive_.register_worker(id, limits);
+}
+
+double Coordinator::epochs_completed() const {
+  return static_cast<double>(ledger_.total_examples()) /
+         static_cast<double>(dataset_.example_count());
+}
+
+void Coordinator::on_start() {
+  HETSGD_ASSERT(!workers_.empty(), "coordinator needs at least one worker");
+  monitor_ = std::make_unique<UtilizationMonitor>(workers_.size());
+  if (config_.eval_interval_vseconds > 0.0) {
+    next_eval_vtime_ = config_.eval_interval_vseconds;
+  }
+  evaluate_loss(0.0);
+  try_dispatch_all();
+}
+
+bool Coordinator::handle(msg::Envelope envelope) {
+  if (std::holds_alternative<msg::ScheduleWork>(envelope.message)) {
+    on_schedule(std::get<msg::ScheduleWork>(envelope.message));
+    return true;
+  }
+  if (std::holds_alternative<msg::ShutdownAck>(envelope.message)) {
+    ++shutdown_acks_;
+    return shutdown_acks_ < workers_.size();
+  }
+  HETSGD_LOG_WARN("coordinator", "unexpected message variant %zu",
+                  envelope.message.index());
+  return true;
+}
+
+void Coordinator::on_schedule(const msg::ScheduleWork& report) {
+  const msg::WorkerId id = report.worker;
+  HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
+                "report from unknown worker");
+  WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
+
+  if (report.examples > 0) {
+    // Busy segment: [clock_after - batch_busy, clock_after].
+    const double prev_busy = ledger_.stats(id).busy_vtime;
+    const double seg_len = report.busy_vtime - prev_busy;
+    HETSGD_ASSERT(seg_len >= 0.0, "busy time went backwards");
+    monitor_->record(id, report.clock_vtime - seg_len, report.clock_vtime,
+                     std::clamp(report.intensity, 0.0, 1.0));
+  }
+  ledger_.on_report(report);
+  w.busy = false;
+  w.waiting = true;
+
+  if (adaptive_enabled_) {
+    const Index next = adaptive_.on_request(id, report.updates);
+    ledger_.stats(id).current_batch = next;
+  }
+
+  maybe_eval_checkpoints();
+  try_dispatch_all();
+}
+
+double Coordinator::effective_window() const {
+  return config_.clock_window;  // 0 = strict virtual-time ordering
+}
+
+double Coordinator::estimate_cost(const WorkerRuntime& w,
+                                  Index batch) const {
+  if (w.kind == gpusim::DeviceKind::kCpu) {
+    const int lanes = config_.cpu.sim_lanes;
+    const Index sub = std::max<Index>(1, batch / lanes);
+    const int num_sub = static_cast<int>((batch + sub - 1) / sub);
+    return cpu_batch_seconds(cpu_perf_, config_.mlp, sub, num_sub);
+  }
+  return gpu_batch_seconds(gpu_perf_, config_.mlp, batch,
+                           config_.gpu.host_merge_bandwidth);
+}
+
+void Coordinator::try_dispatch_all() {
+  if (shutting_down_) return;
+
+  // Retire workers that reached the time budget first: a stale
+  // not-yet-finished flag would otherwise hold the epoch barrier open for
+  // a worker that will never take another batch.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    WorkerRuntime& w = workers_[i];
+    if (!w.finished && !w.busy &&
+        ledger_.stats(static_cast<msg::WorkerId>(i)).clock >=
+            config_.time_budget_vseconds) {
+      w.finished = true;
+      w.waiting = false;
+    }
+  }
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    maybe_flip_epoch();
+    if (shutting_down_) return;
+
+    // Earliest estimated completion among busy workers: the virtual
+    // frontier idle workers may not overtake (plus the window).
+    double frontier = std::numeric_limits<double>::max();
+    for (const auto& w : workers_) {
+      if (w.busy) frontier = std::min(frontier, w.est_completion);
+    }
+    frontier += effective_window();
+
+    // Candidates: idle, unserved, unfinished — dispatched in clock order.
+    std::vector<msg::WorkerId> idle;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const auto id = static_cast<msg::WorkerId>(i);
+      const WorkerRuntime& w = workers_[i];
+      if (!w.waiting || w.busy || w.finished) continue;
+      idle.push_back(id);
+    }
+    std::sort(idle.begin(), idle.end(), [&](msg::WorkerId a, msg::WorkerId b) {
+      return ledger_.stats(a).clock < ledger_.stats(b).clock;
+    });
+
+    for (msg::WorkerId id : idle) {
+      WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
+      // Dispatch rule. Algorithm 2 (Adaptive) serves a worker only if a
+      // *full* batch remains ("if b^E <= |B| then extract batch"), so
+      // small-batch workers sweep the epoch tail — the mechanism that
+      // balances the update distribution (Fig. 8). Algorithm 1 (the static
+      // variants) hands out whatever remains ("if B != 0 extract next
+      // batch"), so the tail goes to the next requester as one partial
+      // batch instead of stalling the epoch behind a slow 56-example
+      // sweep.
+      const Index remaining = dataset_.example_count() - cursor_;
+      if (adaptive_enabled_ ? batch_for(id) > remaining : remaining <= 0) {
+        continue;
+      }
+      const double clock = ledger_.stats(id).clock;
+      if (clock > frontier) continue;  // would run ahead of the frontier
+      dispatch(id);
+      // The newly-busy worker tightens the frontier for later candidates.
+      frontier = std::min(frontier, w.est_completion + effective_window());
+      progressed = true;
+    }
+  }
+
+  if (!any_busy() && all_finished()) {
+    begin_shutdown();
+  }
+}
+
+tensor::Index Coordinator::batch_for(msg::WorkerId id) const {
+  // A configured batch larger than the dataset degrades to one full pass.
+  return std::min<Index>(ledger_.stats(id).current_batch,
+                         dataset_.example_count());
+}
+
+void Coordinator::dispatch(msg::WorkerId id) {
+  WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
+  // Partial tails only under Algorithm 1 (see try_dispatch_all).
+  const Index batch =
+      std::min<Index>(batch_for(id), dataset_.example_count() - cursor_);
+  HETSGD_ASSERT(batch > 0, "dispatch with exhausted epoch");
+
+  msg::ExecuteWork work;
+  work.batch_begin = static_cast<std::uint64_t>(cursor_);
+  work.batch_size = static_cast<std::uint64_t>(batch);
+  work.learning_rate = config_.learning_rate;
+  work.epoch = epoch_;
+  work.not_before = epoch_start_vtime_;
+  cursor_ += batch;
+
+  const double start =
+      std::max(ledger_.stats(id).clock, epoch_start_vtime_);
+  w.est_completion = start + estimate_cost(w, batch);
+  w.busy = true;
+  w.waiting = false;
+  w.actor->send({msg::kCoordinator, work});
+}
+
+void Coordinator::maybe_flip_epoch() {
+  // The epoch ends when no unfinished worker's full batch fits into the
+  // remainder (Algorithm 1: "when there are no more batches and all the
+  // workers are done") and every in-flight batch has completed. Any
+  // leftover examples smaller than the smallest batch rejoin the pool at
+  // the reshuffle.
+  const Index remaining = dataset_.example_count() - cursor_;
+  bool anyone_active = false;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i].finished) continue;
+    if (workers_[i].waiting || workers_[i].busy) anyone_active = true;
+    // Algorithm 2: the epoch lasts while anyone's full batch fits;
+    // Algorithm 1: while any example remains.
+    const Index needed =
+        adaptive_enabled_ ? batch_for(static_cast<msg::WorkerId>(i))
+                          : Index{1};
+    if (needed <= remaining) {
+      return;  // someone can still take a batch this epoch
+    }
+  }
+  if (any_busy()) return;  // epoch barrier: wait for in-flight batches
+
+  // Epoch boundary. Evaluate the loss (the paper always computes it on the
+  // GPU at epoch end — skipped when interval checkpoints are active, since
+  // fast workers can flip thousands of tiny epochs), then reshuffle and
+  // restart.
+  ++epoch_;
+  double boundary = ledger_.max_clock();
+  if (config_.eval_interval_vseconds <= 0.0) {
+    evaluate_loss(boundary);
+  }
+  if (config_.charge_loss_eval_to_gpu) {
+    // Forward pass over the dataset on the GPU: utilization spike of Fig 7.
+    const double eval_cost =
+        nn::training_flops(config_.mlp, dataset_.example_count()) / 3.0 /
+        (gpu_perf_.spec().peak_flops * gpu_perf_.spec().max_efficiency);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (workers_[i].kind == gpusim::DeviceKind::kGpu) {
+        monitor_->record(static_cast<msg::WorkerId>(i), boundary,
+                         boundary + eval_cost, 1.0);
+      }
+    }
+    boundary += eval_cost;
+  }
+  epoch_start_vtime_ = boundary;
+
+  if (config_.max_epochs > 0 && epoch_ >= config_.max_epochs) {
+    begin_shutdown();
+    return;
+  }
+  if (!anyone_active) {
+    // All workers hit the budget; nothing left to schedule.
+    begin_shutdown();
+    return;
+  }
+  dataset_.shuffle(rng_);
+  cursor_ = 0;
+}
+
+void Coordinator::evaluate_loss(double vtime) {
+  // Racy snapshot of the shared model (Hogwild semantics); evaluating the
+  // snapshot keeps the measurement internally consistent.
+  eval_snapshot_ = model_;
+  const Index n = eval_x_.rows();
+  const Index chunk = 512;
+  double total = 0.0;
+  for (Index begin = 0; begin < n; begin += chunk) {
+    const Index count = std::min(chunk, n - begin);
+    auto x = eval_x_.rows_view(begin, count);
+    std::span<const std::int32_t> y(eval_y_.data() + begin,
+                                    static_cast<std::size_t>(count));
+    total += static_cast<double>(
+                 nn::compute_loss(eval_snapshot_, x, y, eval_ws_)) *
+             static_cast<double>(count);
+  }
+  const double loss = total / static_cast<double>(n);
+  curve_.push_back({vtime, epochs_completed(), loss});
+}
+
+void Coordinator::maybe_eval_checkpoints() {
+  if (config_.eval_interval_vseconds <= 0.0) return;
+  const double progress = ledger_.max_clock();
+  while (next_eval_vtime_ <= progress) {
+    evaluate_loss(next_eval_vtime_);
+    next_eval_vtime_ += config_.eval_interval_vseconds;
+  }
+}
+
+void Coordinator::begin_shutdown() {
+  if (shutting_down_) return;
+  shutting_down_ = true;
+  for (auto& w : workers_) {
+    w.actor->send({msg::kCoordinator, msg::Shutdown{}});
+  }
+}
+
+bool Coordinator::any_busy() const {
+  for (const auto& w : workers_) {
+    if (w.busy) return true;
+  }
+  return false;
+}
+
+bool Coordinator::all_finished() const {
+  for (const auto& w : workers_) {
+    if (!w.finished) return false;
+  }
+  return true;
+}
+
+}  // namespace hetsgd::core

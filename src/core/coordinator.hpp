@@ -1,0 +1,120 @@
+// The coordinator (§V-A): assigns batches to workers, owns the adaptive
+// batch-size policy, tracks updates/utilization, and manages epochs.
+//
+// One Actor thread processing ScheduleWork requests strictly in arrival
+// order (the paper's serialized message handling). Bulk data never moves:
+// an ExecuteWork carries only an index range into the shared dataset.
+//
+// Virtual-time gating. Workers charge modeled costs to their logical
+// clocks. To keep the *assignment* schedule faithful to the modeled
+// hardware rather than to this host's real speed, the coordinator releases
+// a new batch to an idle worker only while that worker's clock does not
+// run ahead of the earliest estimated completion among busy workers (plus
+// a configurable window). Both workers stay busy in real time — the fast
+// device simply executes its many virtual batches while the slow one
+// executes its single one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/config.hpp"
+#include "core/update_ledger.hpp"
+#include "core/utilization.hpp"
+#include "data/dataset.hpp"
+#include "msg/actor.hpp"
+#include "nn/mlp.hpp"
+
+namespace hetsgd::core {
+
+// One sample of the loss trajectory: virtual seconds, epochs-equivalent
+// of processed examples, and the (sampled) training loss.
+struct LossPoint {
+  double vtime = 0.0;
+  double epochs = 0.0;
+  double loss = 0.0;
+};
+
+class Coordinator final : public msg::Actor {
+ public:
+  // `dataset` is shuffled in place at epoch boundaries; `model` is the
+  // global model shared with the workers. `eval_sample` examples are
+  // copied out for loss tracking (0 = evaluate on the full dataset).
+  Coordinator(data::Dataset& dataset, nn::Model& model,
+              const TrainingConfig& config, tensor::Index eval_sample);
+
+  // Registers a worker before start(). Ids are assigned densely in call
+  // order and must match the worker's own id.
+  void add_worker(msg::Actor& actor, gpusim::DeviceKind kind,
+                  const AdaptiveController::WorkerLimits& limits);
+
+  // --- results (valid after join()) -------------------------------------
+  const UpdateLedger& ledger() const { return ledger_; }
+  const UtilizationMonitor& monitor() const { return *monitor_; }
+  const std::vector<LossPoint>& loss_curve() const { return curve_; }
+  std::uint64_t epoch_flips() const { return epoch_; }
+  double epochs_completed() const;
+  double final_vtime() const { return ledger_.max_clock(); }
+
+ protected:
+  bool handle(msg::Envelope envelope) override;
+  void on_start() override;
+
+ private:
+  struct WorkerRuntime {
+    msg::Actor* actor = nullptr;
+    gpusim::DeviceKind kind = gpusim::DeviceKind::kCpu;
+    AdaptiveController::WorkerLimits limits;
+    bool busy = false;
+    bool waiting = false;   // has an unserved work request
+    bool finished = false;  // reached the time budget
+    double est_completion = 0.0;
+  };
+
+  void on_schedule(const msg::ScheduleWork& report);
+  void try_dispatch_all();
+  void dispatch(msg::WorkerId id);
+  // Worker E's full batch size, clamped to one dataset pass.
+  tensor::Index batch_for(msg::WorkerId id) const;
+  double estimate_cost(const WorkerRuntime& w, tensor::Index batch) const;
+  // Flips the epoch if the dataset is exhausted and every worker is idle.
+  void maybe_flip_epoch();
+  void evaluate_loss(double vtime);
+  void maybe_eval_checkpoints();
+  void begin_shutdown();
+  bool any_busy() const;
+  bool all_finished() const;
+  double effective_window() const;
+
+  data::Dataset& dataset_;
+  nn::Model& model_;
+  const TrainingConfig& config_;
+  const bool adaptive_enabled_;
+
+  UpdateLedger ledger_;
+  std::unique_ptr<UtilizationMonitor> monitor_;
+  AdaptiveController adaptive_;
+  gpusim::PerfModel cpu_perf_;
+  gpusim::PerfModel gpu_perf_;
+  std::vector<WorkerRuntime> workers_;
+
+  tensor::Index cursor_ = 0;  // next unassigned example of this epoch
+  std::uint64_t epoch_ = 0;
+  double epoch_start_vtime_ = 0.0;
+  double next_eval_vtime_ = 0.0;
+
+  // Loss evaluation sample (copied rows, immune to dataset shuffles).
+  tensor::Matrix eval_x_;
+  std::vector<std::int32_t> eval_y_;
+  nn::Workspace eval_ws_;
+  nn::Model eval_snapshot_;
+
+  std::vector<LossPoint> curve_;
+  Rng rng_;
+  bool shutting_down_ = false;
+  std::size_t shutdown_acks_ = 0;
+};
+
+}  // namespace hetsgd::core

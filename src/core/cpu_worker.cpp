@@ -1,0 +1,109 @@
+#include "core/cpu_worker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/macros.hpp"
+#include "core/cost_model.hpp"
+
+namespace hetsgd::core {
+
+using tensor::Index;
+
+CpuWorker::CpuWorker(msg::WorkerId id, const TrainingConfig& config,
+                     const data::Dataset& dataset, nn::Model& global_model,
+                     msg::Actor& coordinator, int real_threads)
+    : msg::Actor("cpu-worker"), id_(id), config_(config), dataset_(dataset),
+      model_(global_model), coordinator_(coordinator),
+      perf_(config.cpu.spec),
+      pool_(static_cast<std::size_t>(std::max(real_threads, 1))) {
+  const std::size_t lanes = pool_.thread_count() + 1;
+  workspaces_.resize(lanes);
+  gradients_.reserve(lanes);
+  optimizers_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    gradients_.push_back(nn::make_zero_gradient(model_));
+    optimizers_.emplace_back(config.optimizer, model_);
+  }
+}
+
+bool CpuWorker::handle(msg::Envelope envelope) {
+  if (std::holds_alternative<msg::ExecuteWork>(envelope.message)) {
+    execute(std::get<msg::ExecuteWork>(envelope.message));
+    return true;
+  }
+  if (std::holds_alternative<msg::Shutdown>(envelope.message)) {
+    coordinator_.send({id_, msg::ShutdownAck{id_}});
+    return false;
+  }
+  HETSGD_LOG_WARN("cpu-worker", "unexpected message variant %zu",
+                  envelope.message.index());
+  return true;
+}
+
+void CpuWorker::execute(const msg::ExecuteWork& work) {
+  const Index begin = static_cast<Index>(work.batch_begin);
+  const Index size = static_cast<Index>(work.batch_size);
+  HETSGD_ASSERT(size > 0, "empty batch assigned");
+  HETSGD_ASSERT(begin + size <= dataset_.example_count(),
+                "batch out of dataset range");
+
+  const int t = config_.cpu.sim_lanes;
+  // Split B into t sub-batches of size B/t (Algorithm 2, CPU worker
+  // handler). Tail batches (epoch remainders) may produce fewer sub-batches.
+  const Index sub_batch = std::max<Index>(1, size / t);
+  const Index num_sub = (size + sub_batch - 1) / sub_batch;
+  const double lr =
+      config_.effective_lr(sub_batch) *
+      nn::lr_multiplier(config_.lr_schedule,
+                        static_cast<double>(work.epoch));
+
+  // Hogwild: every lane reads the shared model, computes its sub-batch
+  // gradient, and writes the update back with no synchronization.
+  pool_.parallel_for(
+      static_cast<std::size_t>(num_sub),
+      [&](std::size_t first, std::size_t last, std::size_t lane) {
+        nn::Workspace& ws = workspaces_[lane];
+        nn::Gradient& grad = gradients_[lane];
+        for (std::size_t i = first; i < last; ++i) {
+          const Index sb_begin = begin + static_cast<Index>(i) * sub_batch;
+          const Index sb_size =
+              std::min(sub_batch, begin + size - sb_begin);
+          auto x = dataset_.batch_features(sb_begin, sb_size);
+          auto y = dataset_.batch_labels(sb_begin, sb_size);
+          nn::compute_gradient(model_, x, y, ws, grad);
+          optimizers_[lane].step(model_, grad,
+                                 static_cast<tensor::Scalar>(lr));
+        }
+      });
+
+  // Virtual time: num_sub logical lanes at sub_batch each (waves beyond
+  // the simulated 56 threads are handled inside the cost model).
+  const double cost = cpu_batch_seconds(perf_, config_.mlp, sub_batch,
+                                        static_cast<int>(num_sub));
+  // Epoch-boundary waits (not_before) appear as idle virtual time.
+  clock_.advance_to(work.not_before);
+  clock_.advance(cost);
+  busy_vtime_ += cost;
+  updates_scaled_ += static_cast<double>(num_sub) * config_.beta;
+
+  const double intensity = cpu_batch_intensity(
+      std::min<int>(static_cast<int>(num_sub), perf_.spec().lanes),
+      config_.cpu.host_threads, sub_batch,
+      config_.cpu.max_examples_per_thread);
+  request_work(static_cast<std::uint64_t>(size), intensity);
+}
+
+void CpuWorker::request_work(std::uint64_t examples, double intensity) {
+  msg::ScheduleWork req;
+  req.worker = id_;
+  req.updates = static_cast<std::uint64_t>(updates_scaled_);
+  req.busy_vtime = busy_vtime_;
+  req.clock_vtime = clock_.now();
+  req.intensity = intensity;
+  req.examples = examples;
+  coordinator_.send({id_, req});
+}
+
+}  // namespace hetsgd::core

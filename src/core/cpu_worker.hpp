@@ -1,0 +1,61 @@
+// CPU worker: nested Hogbatch over the shared model (§V-A, Algorithm 2's
+// CPU worker handler).
+//
+// On each ExecuteWork the assigned batch is split into t = sim_lanes
+// sub-batches; each lane computes a gradient against the *shared* global
+// model (a reference replica — no copy) and applies it immediately with no
+// synchronization. The races between lanes — and against the GPU worker's
+// concurrent merges — are real: lanes run on actual threads. Virtual time
+// is charged by the cost model as if all sim_lanes ran concurrently on the
+// paper's 56-thread Xeon, regardless of how many physical cores execute
+// the lanes here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "concurrent/thread_pool.hpp"
+#include "core/config.hpp"
+#include "data/dataset.hpp"
+#include "gpusim/perf_model.hpp"
+#include "gpusim/virtual_clock.hpp"
+#include "msg/actor.hpp"
+#include "nn/mlp.hpp"
+
+namespace hetsgd::core {
+
+class CpuWorker final : public msg::Actor {
+ public:
+  CpuWorker(msg::WorkerId id, const TrainingConfig& config,
+            const data::Dataset& dataset, nn::Model& global_model,
+            msg::Actor& coordinator, int real_threads);
+
+  msg::WorkerId id() const { return id_; }
+  const gpusim::PerfModel& perf() const { return perf_; }
+
+ protected:
+  bool handle(msg::Envelope envelope) override;
+
+ private:
+  void execute(const msg::ExecuteWork& work);
+  void request_work(std::uint64_t examples, double intensity);
+
+  msg::WorkerId id_;
+  const TrainingConfig& config_;
+  const data::Dataset& dataset_;
+  nn::Model& model_;  // the shared global model (reference replica)
+  msg::Actor& coordinator_;
+  gpusim::PerfModel perf_;
+  gpusim::VirtualClock clock_;
+  double busy_vtime_ = 0.0;
+  // beta-weighted update count; reported to the coordinator as floor().
+  double updates_scaled_ = 0.0;
+
+  concurrent::ThreadPool pool_;
+  // Per physical lane scratch (lanes process multiple logical sub-batches).
+  std::vector<nn::Workspace> workspaces_;
+  std::vector<nn::Gradient> gradients_;
+  std::vector<nn::Optimizer> optimizers_;
+};
+
+}  // namespace hetsgd::core

@@ -1,0 +1,94 @@
+#include "core/gpu_worker.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/macros.hpp"
+#include "core/cost_model.hpp"
+
+namespace hetsgd::core {
+
+using tensor::Index;
+
+GpuWorker::GpuWorker(msg::WorkerId id, const TrainingConfig& config,
+                     const data::Dataset& dataset, nn::Model& global_model,
+                     msg::Actor& coordinator, int ordinal)
+    : msg::Actor("gpu-worker-" + std::to_string(ordinal)), id_(id),
+      config_(config), dataset_(dataset),
+      model_(global_model), coordinator_(coordinator),
+      device_(config.gpu.spec),
+      host_gradient_(nn::make_zero_gradient(global_model)),
+      optimizer_(config.optimizer, global_model),
+      upload_snapshot_(global_model) {
+  device_mlp_ = std::make_unique<nn::DeviceMlp>(device_, config.mlp,
+                                                config.gpu.max_batch);
+}
+
+bool GpuWorker::handle(msg::Envelope envelope) {
+  if (std::holds_alternative<msg::ExecuteWork>(envelope.message)) {
+    execute(std::get<msg::ExecuteWork>(envelope.message));
+    return true;
+  }
+  if (std::holds_alternative<msg::Shutdown>(envelope.message)) {
+    coordinator_.send({id_, msg::ShutdownAck{id_}});
+    return false;
+  }
+  HETSGD_LOG_WARN("gpu-worker", "unexpected message variant %zu",
+                  envelope.message.index());
+  return true;
+}
+
+void GpuWorker::execute(const msg::ExecuteWork& work) {
+  const Index begin = static_cast<Index>(work.batch_begin);
+  const Index size = static_cast<Index>(work.batch_size);
+  HETSGD_ASSERT(size > 0, "empty batch assigned");
+  HETSGD_ASSERT(begin + size <= dataset_.example_count(),
+                "batch out of dataset range");
+  HETSGD_ASSERT(size <= config_.gpu.max_batch, "batch exceeds device buffers");
+
+  clock_.advance_to(work.not_before);
+  const double issue = clock_.now();
+
+  // Deep-copy the current global model into the device replica. The reads
+  // race with concurrent CPU-lane updates — Hogwild semantics extend
+  // across the PCIe boundary. The host-side snapshot is kept to measure
+  // how stale the replica became by merge time.
+  upload_snapshot_ = model_;
+  device_mlp_->upload_model(upload_snapshot_, issue);
+
+  auto x = dataset_.batch_features(begin, size);
+  auto y = dataset_.batch_labels(begin, size);
+  double done = issue;
+  device_mlp_->compute_gradient(x, y, issue, &done);
+  done = device_mlp_->download_gradient(host_gradient_, issue);
+
+  // Merge into the shared global model on the host (gradient-push
+  // integration, applied asynchronously at the worker).
+  const double staleness =
+      static_cast<double>(model_.max_abs_diff(upload_snapshot_));
+  const double lr =
+      config_.effective_lr(size) *
+      nn::lr_multiplier(config_.lr_schedule,
+                        static_cast<double>(work.epoch));
+  optimizer_.step(model_, host_gradient_, static_cast<tensor::Scalar>(lr));
+  if (config_.gpu.host_merge_bandwidth > 0.0) {
+    done += 2.0 * static_cast<double>(model_bytes(config_.mlp)) /
+            config_.gpu.host_merge_bandwidth;
+  }
+
+  clock_.advance_to(done);
+  busy_vtime_ += clock_.now() - issue;
+  ++updates_;
+
+  msg::ScheduleWork req;
+  req.worker = id_;
+  req.updates = updates_;
+  req.busy_vtime = busy_vtime_;
+  req.clock_vtime = clock_.now();
+  req.intensity = device_.perf().utilization(static_cast<double>(size));
+  req.examples = static_cast<std::uint64_t>(size);
+  req.staleness = staleness;
+  coordinator_.send({id_, req});
+}
+
+}  // namespace hetsgd::core

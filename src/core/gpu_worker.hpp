@@ -1,0 +1,57 @@
+// GPU worker: mini-batch SGD on the simulated device (§V-A).
+//
+// Serves as the exclusive interface to its Device. Every ExecuteWork
+// deep-copies the current global model to device memory (the replica is
+// "a transition buffer between CPU and GPU"), uploads the batch, runs the
+// forward/backward kernel sequence on a stream, downloads the gradient,
+// and merges it into the shared global model on the host — asynchronously
+// with respect to the CPU worker's concurrent Hogwild updates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.hpp"
+#include "data/dataset.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/virtual_clock.hpp"
+#include "msg/actor.hpp"
+#include "nn/device_mlp.hpp"
+
+namespace hetsgd::core {
+
+class GpuWorker final : public msg::Actor {
+ public:
+  // `ordinal` distinguishes multiple GPU workers (device index).
+  GpuWorker(msg::WorkerId id, const TrainingConfig& config,
+            const data::Dataset& dataset, nn::Model& global_model,
+            msg::Actor& coordinator, int ordinal = 0);
+
+  msg::WorkerId id() const { return id_; }
+  const gpusim::Device& device() const { return device_; }
+  const gpusim::PerfModel& perf() const { return device_.perf(); }
+
+ protected:
+  bool handle(msg::Envelope envelope) override;
+
+ private:
+  void execute(const msg::ExecuteWork& work);
+
+  msg::WorkerId id_;
+  const TrainingConfig& config_;
+  const data::Dataset& dataset_;
+  nn::Model& model_;  // shared global model (host)
+  msg::Actor& coordinator_;
+  gpusim::Device device_;
+  std::unique_ptr<nn::DeviceMlp> device_mlp_;
+  nn::Gradient host_gradient_;
+  nn::Optimizer optimizer_;
+  // Host-side snapshot of the model at upload time; compared against the
+  // live model at merge time to measure replica staleness (§VI-B).
+  nn::Model upload_snapshot_;
+  gpusim::VirtualClock clock_;
+  double busy_vtime_ = 0.0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace hetsgd::core

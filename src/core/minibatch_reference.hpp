@@ -1,0 +1,46 @@
+// Synchronous mini-batch SGD reference — the TensorFlow stand-in.
+//
+// The paper shows TensorFlow's convergence "mirrors almost identically"
+// its GPU-only Hogbatch (Fig. 5/6); this driver reproduces that role: a
+// single synchronous optimizer loop on the simulated GPU, with the model
+// resident in device memory across steps (TF's execution model), so only
+// batches cross the PCIe link. The one divergence the paper reports —
+// TensorFlow being much slower on delicious's 983-way multi-label output —
+// is modeled as a per-step input-pipeline overhead that grows with the
+// class count (enabled above `tf_overhead_class_threshold`).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/coordinator.hpp"  // LossPoint
+#include "data/dataset.hpp"
+
+namespace hetsgd::core {
+
+struct ReferenceResult {
+  std::vector<LossPoint> curve;
+  double final_vtime = 0.0;
+  double epochs = 0.0;
+  std::uint64_t updates = 0;
+  double mean_utilization = 0.0;
+};
+
+struct ReferenceOptions {
+  // Per-step overhead in seconds per output class, charged when the class
+  // count exceeds the threshold (models TF 1.13's multi-label pipeline).
+  double tf_class_overhead_seconds = 12e-6;
+  std::int32_t tf_overhead_class_threshold = 100;
+  // Loss-evaluation cadence in virtual seconds (0 = every epoch).
+  double eval_interval_vseconds = 0.0;
+  tensor::Index eval_sample = 2048;
+};
+
+// Runs until config.time_budget_vseconds (and/or config.max_epochs).
+// `dataset` is shuffled in place between epochs.
+ReferenceResult run_minibatch_reference(data::Dataset& dataset,
+                                        const TrainingConfig& config,
+                                        const ReferenceOptions& options);
+
+}  // namespace hetsgd::core

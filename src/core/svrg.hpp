@@ -1,0 +1,48 @@
+// SVRG (stochastic variance-reduced gradient) on the simulated GPU.
+//
+// §II of the paper grounds the CPU+GPU mixture in theory: "we can think of
+// the CPU updates as many small steps in a guessed direction, while the
+// GPU updates are rare jumps using a compass. This combination of updates
+// — albeit sequential — is theoretically proven to enhance SGD convergence
+// and is at the origin of the SVRG family of algorithms." This module
+// implements that sequential baseline (Johnson & Zhang 2013): periodic
+// full-gradient "compass" snapshots plus variance-corrected stochastic
+// steps, so the heterogeneous algorithms can be compared against the
+// theory they generalize (bench/ablation_svrg).
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/coordinator.hpp"  // LossPoint
+#include "data/dataset.hpp"
+
+namespace hetsgd::core {
+
+struct SvrgOptions {
+  // Mini-batch size of the inner stochastic steps.
+  tensor::Index batch = 64;
+  // Inner steps between full-gradient snapshots; 0 = one dataset pass.
+  std::uint64_t inner_steps = 0;
+  // Loss evaluation cadence in virtual seconds (0 = per snapshot).
+  double eval_interval_vseconds = 0.0;
+  tensor::Index eval_sample = 2048;
+};
+
+struct SvrgResult {
+  std::vector<LossPoint> curve;
+  double final_vtime = 0.0;
+  double epochs = 0.0;           // epochs-equivalent of gradient work
+  std::uint64_t snapshots = 0;   // full-gradient computations
+  std::uint64_t inner_updates = 0;
+};
+
+// Runs SVRG until config.time_budget_vseconds / config.max_epochs. Uses
+// config.mlp / learning_rate / gpu.spec; `dataset` is shuffled between
+// passes. Virtual time is charged through the GPU cost model: each inner
+// step costs two batch gradients (current iterate + snapshot), and each
+// snapshot a full pass.
+SvrgResult run_svrg(data::Dataset& dataset, const TrainingConfig& config,
+                    const SvrgOptions& options);
+
+}  // namespace hetsgd::core

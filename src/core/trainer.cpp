@@ -1,0 +1,185 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "common/macros.hpp"
+#include "common/timer.hpp"
+#include "core/cpu_worker.hpp"
+#include "core/gpu_worker.hpp"
+#include "core/minibatch_reference.hpp"
+
+namespace hetsgd::core {
+
+using tensor::Index;
+
+double TrainingResult::loss_at(double vtime) const {
+  if (loss_curve.empty()) return 0.0;
+  double loss = loss_curve.front().loss;
+  for (const auto& p : loss_curve) {
+    if (p.vtime > vtime) break;
+    loss = p.loss;
+  }
+  return loss;
+}
+
+double TrainingResult::time_to_loss(double target) const {
+  for (const auto& p : loss_curve) {
+    if (p.loss <= target) return p.vtime;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Trainer::Trainer(data::Dataset dataset, TrainingConfig config,
+                 TrainerOptions options)
+    : dataset_(std::move(dataset)), config_(std::move(config)),
+      options_(options) {
+  config_.mlp.input_dim = dataset_.dim();
+  config_.mlp.num_classes = dataset_.num_classes();
+  config_.mlp.validate();
+  if (config_.real_threads <= 0) {
+    config_.real_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+TrainingResult Trainer::run() {
+  if (config_.algorithm == Algorithm::kTensorFlow) {
+    return run_reference();
+  }
+  return run_framework();
+}
+
+namespace {
+
+void fill_curve_stats(TrainingResult& r) {
+  if (r.loss_curve.empty()) return;
+  r.initial_loss = r.loss_curve.front().loss;
+  r.final_loss = r.loss_curve.back().loss;
+  r.best_loss = r.initial_loss;
+  for (const auto& p : r.loss_curve) {
+    r.best_loss = std::min(r.best_loss, p.loss);
+  }
+}
+
+}  // namespace
+
+TrainingResult Trainer::run_framework() {
+  WallTimer timer;
+  // Fresh working copy per run: shuffles must not accumulate across runs.
+  data::Dataset working = dataset_;
+
+  Rng rng(config_.seed);
+  nn::Model model(config_.mlp, rng);
+
+  Coordinator coordinator(working, model, config_, options_.eval_sample);
+
+  std::unique_ptr<CpuWorker> cpu_worker;
+  std::vector<std::unique_ptr<GpuWorker>> gpu_workers;
+  msg::WorkerId next_id = 0;
+
+  if (algorithm_uses_cpu(config_.algorithm)) {
+    const Index lanes = config_.cpu.sim_lanes;
+    AdaptiveController::WorkerLimits limits;
+    limits.quantum = lanes;
+    limits.min = lanes * config_.cpu.min_examples_per_thread;
+    limits.max = lanes * config_.cpu.max_examples_per_thread;
+    // "The CPU worker starts with a batch size of 1 example per thread —
+    // it performs Hogwild" (§VII-A).
+    limits.initial = lanes * config_.cpu.examples_per_thread;
+    cpu_worker = std::make_unique<CpuWorker>(next_id, config_, working, model,
+                                             coordinator,
+                                             config_.real_threads);
+    coordinator.add_worker(*cpu_worker, gpusim::DeviceKind::kCpu, limits);
+    ++next_id;
+  }
+  if (algorithm_uses_gpu(config_.algorithm)) {
+    AdaptiveController::WorkerLimits limits;
+    limits.quantum = 1;
+    limits.min = config_.gpu.min_batch;
+    limits.max = config_.gpu.max_batch;
+    // "The initial batch size is set to the upper threshold on the GPU
+    // workers" (§VII-A) — for the static algorithms, gpu.batch applies.
+    limits.initial = config_.algorithm == Algorithm::kAdaptiveHogbatch
+                         ? config_.gpu.max_batch
+                         : std::clamp(config_.gpu.batch, config_.gpu.min_batch,
+                                      config_.gpu.max_batch);
+    const int gpus = std::max(config_.gpu.worker_count, 1);
+    for (int g = 0; g < gpus; ++g) {
+      gpu_workers.push_back(std::make_unique<GpuWorker>(
+          next_id, config_, working, model, coordinator, g));
+      coordinator.add_worker(*gpu_workers.back(), gpusim::DeviceKind::kGpu,
+                             limits);
+      ++next_id;
+    }
+  }
+  HETSGD_ASSERT(next_id > 0, "algorithm selected no workers");
+
+  if (cpu_worker) cpu_worker->start();
+  for (auto& g : gpu_workers) g->start();
+  coordinator.start();
+  coordinator.join();
+  if (cpu_worker) cpu_worker->join();
+  for (auto& g : gpu_workers) g->join();
+
+  TrainingResult result;
+  result.algorithm = config_.algorithm;
+  result.loss_curve = coordinator.loss_curve();
+  result.total_vtime = coordinator.final_vtime();
+  result.epochs = coordinator.epochs_completed();
+  result.cpu_updates =
+      coordinator.ledger().updates_by_kind(gpusim::DeviceKind::kCpu);
+  result.gpu_updates =
+      coordinator.ledger().updates_by_kind(gpusim::DeviceKind::kGpu);
+  const double horizon = std::max(result.total_vtime, 1e-12);
+  for (const auto& stats : coordinator.ledger().all()) {
+    WorkerSummary w;
+    w.name = stats.name;
+    w.kind = stats.kind;
+    w.updates = stats.updates;
+    w.batches = stats.batches;
+    w.examples = stats.examples;
+    w.busy_vtime = stats.busy_vtime;
+    w.final_clock = stats.clock;
+    w.final_batch = stats.current_batch;
+    w.mean_utilization =
+        coordinator.monitor().mean_utilization(stats.id, horizon);
+    w.mean_staleness = stats.mean_staleness();
+    w.max_staleness = stats.max_staleness;
+    w.segments = coordinator.monitor().segments(stats.id);
+    result.workers.push_back(std::move(w));
+  }
+  fill_curve_stats(result);
+  result.wall_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+TrainingResult Trainer::run_reference() {
+  WallTimer timer;
+  data::Dataset working = dataset_;
+  ReferenceOptions options;
+  options.eval_interval_vseconds = config_.eval_interval_vseconds;
+  options.eval_sample = options_.eval_sample;
+  ReferenceResult ref = run_minibatch_reference(working, config_, options);
+
+  TrainingResult result;
+  result.algorithm = config_.algorithm;
+  result.loss_curve = std::move(ref.curve);
+  result.total_vtime = ref.final_vtime;
+  result.epochs = ref.epochs;
+  result.gpu_updates = ref.updates;
+
+  WorkerSummary w;
+  w.name = "tensorflow-gpu";
+  w.kind = gpusim::DeviceKind::kGpu;
+  w.updates = ref.updates;
+  w.mean_utilization = ref.mean_utilization;
+  result.workers.push_back(std::move(w));
+
+  fill_curve_stats(result);
+  result.wall_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace hetsgd::core

@@ -1,0 +1,82 @@
+// Trainer: the public facade of the framework.
+//
+// Builds the model, coordinator, and workers for the selected algorithm,
+// runs training to the configured budget, and returns the collected
+// metrics. This is the entry point the examples and benchmarks use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/coordinator.hpp"
+#include "core/update_ledger.hpp"
+#include "core/utilization.hpp"
+#include "data/dataset.hpp"
+
+namespace hetsgd::core {
+
+struct WorkerSummary {
+  std::string name;
+  gpusim::DeviceKind kind = gpusim::DeviceKind::kCpu;
+  std::uint64_t updates = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t examples = 0;
+  double busy_vtime = 0.0;
+  double final_clock = 0.0;
+  tensor::Index final_batch = 0;
+  double mean_utilization = 0.0;
+  // Mean/max per-batch replica staleness (GPU workers; 0 on CPU).
+  double mean_staleness = 0.0;
+  double max_staleness = 0.0;
+  std::vector<BusySegment> segments;
+};
+
+struct TrainingResult {
+  Algorithm algorithm = Algorithm::kAdaptiveHogbatch;
+  std::vector<LossPoint> loss_curve;
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  double best_loss = 0.0;
+  double total_vtime = 0.0;   // virtual seconds consumed
+  double epochs = 0.0;        // epochs-equivalent of processed examples
+  std::uint64_t cpu_updates = 0;
+  std::uint64_t gpu_updates = 0;
+  std::vector<WorkerSummary> workers;
+  double wall_seconds = 0.0;  // real time the run took on this host
+
+  // Loss at the given virtual time (step-wise interpolation of the curve).
+  double loss_at(double vtime) const;
+  // First virtual time at which the loss reached `target` (inf if never).
+  double time_to_loss(double target) const;
+};
+
+struct TrainerOptions {
+  // Examples sampled for loss tracking (0 = full dataset).
+  tensor::Index eval_sample = 2048;
+};
+
+class Trainer {
+ public:
+  // Copies the dataset (epoch shuffles mutate it).
+  Trainer(data::Dataset dataset, TrainingConfig config,
+          TrainerOptions options = {});
+
+  const TrainingConfig& config() const { return config_; }
+  const data::Dataset& dataset() const { return dataset_; }
+
+  // Runs one full training session and returns the metrics. Can be called
+  // repeatedly; each run re-initializes the model from config().seed.
+  TrainingResult run();
+
+ private:
+  TrainingResult run_framework();
+  TrainingResult run_reference();
+
+  data::Dataset dataset_;
+  TrainingConfig config_;
+  TrainerOptions options_;
+};
+
+}  // namespace hetsgd::core

@@ -1,0 +1,97 @@
+#include "core/update_ledger.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::core {
+
+void UpdateLedger::register_worker(msg::WorkerId id, std::string name,
+                                   gpusim::DeviceKind kind,
+                                   tensor::Index initial_batch) {
+  HETSGD_ASSERT(id == static_cast<msg::WorkerId>(workers_.size()),
+                "worker ids must be registered densely from 0");
+  WorkerStats s;
+  s.id = id;
+  s.name = std::move(name);
+  s.kind = kind;
+  s.current_batch = initial_batch;
+  workers_.push_back(std::move(s));
+}
+
+WorkerStats& UpdateLedger::stats(msg::WorkerId id) {
+  HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
+                "unknown worker id");
+  return workers_[static_cast<std::size_t>(id)];
+}
+
+const WorkerStats& UpdateLedger::stats(msg::WorkerId id) const {
+  HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
+                "unknown worker id");
+  return workers_[static_cast<std::size_t>(id)];
+}
+
+void UpdateLedger::on_report(const msg::ScheduleWork& report) {
+  WorkerStats& s = stats(report.worker);
+  HETSGD_ASSERT(report.updates >= s.updates,
+                "update counts must be monotone");
+  HETSGD_ASSERT(report.clock_vtime >= s.clock, "worker clock went backwards");
+  s.updates = report.updates;
+  s.busy_vtime = report.busy_vtime;
+  s.clock = report.clock_vtime;
+  s.examples += report.examples;
+  if (report.examples > 0) {
+    ++s.batches;
+    s.staleness_sum += report.staleness;
+    s.max_staleness = std::max(s.max_staleness, report.staleness);
+  }
+}
+
+std::uint64_t UpdateLedger::total_updates() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w.updates;
+  return total;
+}
+
+std::uint64_t UpdateLedger::total_examples() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w.examples;
+  return total;
+}
+
+std::uint64_t UpdateLedger::updates_by_kind(gpusim::DeviceKind kind) const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) {
+    if (w.kind == kind) total += w.updates;
+  }
+  return total;
+}
+
+bool UpdateLedger::other_update_range(msg::WorkerId id, std::uint64_t& min_u,
+                                      std::uint64_t& max_u) const {
+  bool any = false;
+  min_u = std::numeric_limits<std::uint64_t>::max();
+  max_u = 0;
+  for (const auto& w : workers_) {
+    if (w.id == id) continue;
+    min_u = std::min(min_u, w.updates);
+    max_u = std::max(max_u, w.updates);
+    any = true;
+  }
+  return any;
+}
+
+double UpdateLedger::min_clock() const {
+  double t = std::numeric_limits<double>::max();
+  for (const auto& w : workers_) t = std::min(t, w.clock);
+  return workers_.empty() ? 0.0 : t;
+}
+
+double UpdateLedger::max_clock() const {
+  double t = 0.0;
+  for (const auto& w : workers_) t = std::max(t, w.clock);
+  return t;
+}
+
+}  // namespace hetsgd::core

@@ -1,0 +1,75 @@
+// Per-worker bookkeeping of model updates, batches, and virtual time.
+//
+// The coordinator maintains this from ScheduleWork messages; it is the
+// data behind Fig. 8 (update distribution) and the adaptive controller's
+// inputs. Written only on the coordinator thread; snapshots are taken
+// after training for reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/perf_model.hpp"
+#include "msg/message.hpp"
+#include "tensor/types.hpp"
+
+namespace hetsgd::core {
+
+struct WorkerStats {
+  msg::WorkerId id = 0;
+  std::string name;
+  gpusim::DeviceKind kind = gpusim::DeviceKind::kCpu;
+
+  std::uint64_t updates = 0;   // cumulative model updates (u^E)
+  std::uint64_t batches = 0;   // ExecuteWork messages completed
+  std::uint64_t examples = 0;  // training examples processed
+  double busy_vtime = 0.0;     // virtual seconds spent computing
+  double clock = 0.0;          // worker's logical clock
+  tensor::Index current_batch = 0;  // last assigned batch size
+
+  // Replica staleness (GPU workers): accumulated and maximum per-batch
+  // max |w_merge - w_upload| of the shared model.
+  double staleness_sum = 0.0;
+  double max_staleness = 0.0;
+
+  // Mean per-batch staleness over completed batches.
+  double mean_staleness() const {
+    return batches > 0 ? staleness_sum / static_cast<double>(batches) : 0.0;
+  }
+};
+
+class UpdateLedger {
+ public:
+  // Registers a worker; ids must be dense [0, n).
+  void register_worker(msg::WorkerId id, std::string name,
+                       gpusim::DeviceKind kind, tensor::Index initial_batch);
+
+  WorkerStats& stats(msg::WorkerId id);
+  const WorkerStats& stats(msg::WorkerId id) const;
+
+  std::size_t worker_count() const { return workers_.size(); }
+  const std::vector<WorkerStats>& all() const { return workers_; }
+
+  // Folds a completed-batch report into the ledger.
+  void on_report(const msg::ScheduleWork& report);
+
+  std::uint64_t total_updates() const;
+  std::uint64_t total_examples() const;
+  std::uint64_t updates_by_kind(gpusim::DeviceKind kind) const;
+
+  // Smallest/largest update count among workers *other than* `id` —
+  // Algorithm 2's min_u / max_u inputs. Returns false if there are no
+  // other workers.
+  bool other_update_range(msg::WorkerId id, std::uint64_t& min_u,
+                          std::uint64_t& max_u) const;
+
+  // Smallest clock among all workers (progress of the virtual frontier).
+  double min_clock() const;
+  double max_clock() const;
+
+ private:
+  std::vector<WorkerStats> workers_;
+};
+
+}  // namespace hetsgd::core

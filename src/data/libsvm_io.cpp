@@ -1,0 +1,145 @@
+#include "data/libsvm_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::data {
+
+using tensor::Index;
+using tensor::Scalar;
+
+namespace {
+
+struct SparseExample {
+  double label = 0;
+  std::vector<std::pair<Index, Scalar>> entries;
+};
+
+// Parses one "label idx:val idx:val ..." line. Returns false for blank or
+// comment lines.
+bool parse_line(const std::string& line, std::size_t line_no,
+                SparseExample& out) {
+  std::size_t pos = line.find_first_not_of(" \t\r");
+  if (pos == std::string::npos || line[pos] == '#') return false;
+  const char* s = line.c_str() + pos;
+  char* end = nullptr;
+  out.label = std::strtod(s, &end);
+  HETSGD_ASSERT(end != s, "libsvm: missing label");
+  out.entries.clear();
+  s = end;
+  for (;;) {
+    while (*s == ' ' || *s == '\t' || *s == '\r') ++s;
+    if (*s == '\0' || *s == '\n' || *s == '#') break;
+    long idx = std::strtol(s, &end, 10);
+    if (end == s || *end != ':') {
+      std::fprintf(stderr, "libsvm: malformed pair at line %zu\n", line_no);
+      std::abort();
+    }
+    HETSGD_ASSERT(idx >= 1, "libsvm: feature indices are 1-based");
+    s = end + 1;
+    double val = std::strtod(s, &end);
+    if (end == s) {
+      std::fprintf(stderr, "libsvm: missing value at line %zu\n", line_no);
+      std::abort();
+    }
+    s = end;
+    out.entries.emplace_back(static_cast<Index>(idx - 1),
+                             static_cast<Scalar>(val));
+  }
+  return true;
+}
+
+Dataset build_dataset(std::istream& in, const LibsvmReadOptions& options,
+                      const std::string& default_name) {
+  std::vector<SparseExample> examples;
+  std::string line;
+  std::size_t line_no = 0;
+  Index max_index = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    SparseExample ex;
+    if (!parse_line(line, line_no, ex)) continue;
+    for (const auto& [idx, val] : ex.entries) {
+      max_index = std::max(max_index, idx);
+    }
+    examples.push_back(std::move(ex));
+    if (options.max_examples > 0 &&
+        static_cast<Index>(examples.size()) >= options.max_examples) {
+      break;
+    }
+  }
+  HETSGD_ASSERT(!examples.empty(), "libsvm: no examples found");
+
+  Index dim = options.dim > 0 ? options.dim : max_index + 1;
+  HETSGD_ASSERT(dim > 0, "libsvm: could not infer dimension");
+  HETSGD_ASSERT(max_index < dim, "libsvm: feature index exceeds --dim");
+
+  // Remap raw labels to contiguous ids. Sorted (std::map) so the mapping is
+  // deterministic regardless of example order: -1 -> 0, +1 -> 1, etc.
+  std::map<long, std::int32_t> label_ids;
+  for (const auto& ex : examples) {
+    label_ids.emplace(static_cast<long>(ex.label), 0);
+  }
+  std::int32_t next_id = 0;
+  for (auto& [raw, id] : label_ids) {
+    id = next_id++;
+  }
+
+  const Index n = static_cast<Index>(examples.size());
+  tensor::Matrix features(n, dim);
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(n));
+  for (Index r = 0; r < n; ++r) {
+    const auto& ex = examples[static_cast<std::size_t>(r)];
+    Scalar* row = features.row(r);
+    for (const auto& [idx, val] : ex.entries) {
+      row[idx] = val;
+    }
+    labels[static_cast<std::size_t>(r)] =
+        label_ids.at(static_cast<long>(ex.label));
+  }
+  std::string name =
+      options.dataset_name.empty() ? default_name : options.dataset_name;
+  return Dataset(std::move(name), std::move(features), std::move(labels),
+                 next_id < 2 ? 2 : next_id);
+}
+
+}  // namespace
+
+Dataset read_libsvm(const std::string& path, const LibsvmReadOptions& options) {
+  std::ifstream in(path);
+  HETSGD_ASSERT(in.good(), "libsvm: cannot open input file");
+  return build_dataset(in, options, path);
+}
+
+Dataset read_libsvm_string(const std::string& content,
+                           const LibsvmReadOptions& options) {
+  std::istringstream in(content);
+  return build_dataset(in, options, "inline");
+}
+
+void write_libsvm(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  HETSGD_ASSERT(out.good(), "libsvm: cannot open output file");
+  const Index n = dataset.example_count();
+  const Index d = dataset.dim();
+  for (Index r = 0; r < n; ++r) {
+    out << dataset.labels()[static_cast<std::size_t>(r)];
+    const Scalar* row = dataset.features().row(r);
+    for (Index c = 0; c < d; ++c) {
+      if (row[c] != Scalar{0}) {
+        out << ' ' << (c + 1) << ':' << row[c];
+      }
+    }
+    out << '\n';
+  }
+  HETSGD_ASSERT(out.good(), "libsvm: write failed");
+}
+
+}  // namespace hetsgd::data

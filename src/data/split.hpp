@@ -1,0 +1,25 @@
+// Train/test splitting with optional stratification.
+//
+// The paper evaluates training loss only; a library users adopt also needs
+// held-out evaluation. Stratified splitting preserves class frequencies —
+// important for delicious-style datasets with hundreds of rare classes.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace hetsgd::data {
+
+struct SplitResult {
+  Dataset train;
+  Dataset test;
+};
+
+// Randomly partitions `dataset` into train/test with `test_fraction` of
+// examples in the test set (at least 1 example in each side). When
+// `stratified` is set, the split is performed per class, so each class's
+// test share matches test_fraction as closely as integer counts allow.
+SplitResult train_test_split(const Dataset& dataset, double test_fraction,
+                             Rng& rng, bool stratified = true);
+
+}  // namespace hetsgd::data

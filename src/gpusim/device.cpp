@@ -1,0 +1,134 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::gpusim {
+
+Device::Device(DeviceSpec spec)
+    : perf_(std::move(spec)), allocator_(perf_.spec().memory_capacity) {
+  streams_.push_back(std::make_unique<Stream>(0));
+}
+
+Stream& Device::create_stream() {
+  streams_.push_back(
+      std::make_unique<Stream>(static_cast<std::uint32_t>(streams_.size())));
+  return *streams_.back();
+}
+
+DeviceMatrix Device::alloc(tensor::Index rows, tensor::Index cols) {
+  return DeviceMatrix(&allocator_, rows, cols);
+}
+
+double Device::copy_to_device(tensor::ConstMatrixView host, DeviceMatrix& dst,
+                              Stream& stream, double issue_time) {
+  HETSGD_ASSERT(host.rows() == dst.rows() && host.cols() == dst.cols(),
+                "H2D copy shape mismatch");
+  auto dv = dst.device_view();
+  std::memcpy(dv.data(), host.data(),
+              static_cast<std::size_t>(host.size()) * sizeof(tensor::Scalar));
+  ++transfer_count_;
+  bytes_transferred_ += dst.bytes();
+  return stream.enqueue(perf_.transfer_seconds(dst.bytes()), issue_time);
+}
+
+double Device::copy_to_host(const DeviceMatrix& src, tensor::MatrixView host,
+                            Stream& stream, double issue_time) {
+  HETSGD_ASSERT(host.rows() == src.rows() && host.cols() == src.cols(),
+                "D2H copy shape mismatch");
+  auto sv = src.device_view();
+  std::memcpy(host.data(), sv.data(),
+              static_cast<std::size_t>(host.size()) * sizeof(tensor::Scalar));
+  ++transfer_count_;
+  bytes_transferred_ += src.bytes();
+  return stream.enqueue(perf_.transfer_seconds(src.bytes()), issue_time);
+}
+
+double Device::copy_on_device(const DeviceMatrix& src, DeviceMatrix& dst,
+                              Stream& stream, double issue_time) {
+  HETSGD_ASSERT(src.rows() == dst.rows() && src.cols() == dst.cols(),
+                "D2D copy shape mismatch");
+  auto sv = src.device_view();
+  auto dv = dst.device_view();
+  std::memcpy(dv.data(), sv.data(),
+              static_cast<std::size_t>(src.size()) * sizeof(tensor::Scalar));
+  // On-device copies run at global-memory bandwidth, modeled as an
+  // element-wise pass.
+  return stream.enqueue(
+      perf_.elementwise_seconds(static_cast<std::uint64_t>(src.size())),
+      issue_time);
+}
+
+double Device::gemm(tensor::Trans ta, tensor::Trans tb, tensor::Scalar alpha,
+                    const DeviceMatrix& a, const DeviceMatrix& b,
+                    tensor::Scalar beta, DeviceMatrix& c, Stream& stream,
+                    double issue_time) {
+  ++kernel_count_;
+  tensor::gemm(ta, tb, alpha, a.device_view(), b.device_view(), beta,
+               c.device_view());
+  const auto dims = tensor::check_gemm_shapes(ta, tb, a.device_view(),
+                                              b.device_view(), c.device_view());
+  return stream.enqueue(perf_.gemm_seconds(dims.m, dims.n, dims.k), issue_time);
+}
+
+double Device::add_row_bias(const DeviceMatrix& bias, DeviceMatrix& m,
+                            Stream& stream, double issue_time) {
+  ++kernel_count_;
+  tensor::add_row_bias(bias.device_view(), m.device_view());
+  return stream.enqueue(
+      perf_.elementwise_seconds(static_cast<std::uint64_t>(m.size())),
+      issue_time);
+}
+
+double Device::col_sums(const DeviceMatrix& m, DeviceMatrix& out,
+                        Stream& stream, double issue_time) {
+  ++kernel_count_;
+  tensor::col_sums(m.device_view(), out.device_view());
+  return stream.enqueue(
+      perf_.elementwise_seconds(static_cast<std::uint64_t>(m.size())),
+      issue_time);
+}
+
+double Device::axpy(tensor::Scalar alpha, const DeviceMatrix& x,
+                    DeviceMatrix& y, Stream& stream, double issue_time) {
+  ++kernel_count_;
+  tensor::axpy(alpha, x.device_view(), y.device_view());
+  return stream.enqueue(
+      perf_.elementwise_seconds(static_cast<std::uint64_t>(x.size())),
+      issue_time);
+}
+
+double Device::scale(tensor::Scalar alpha, DeviceMatrix& x, Stream& stream,
+                     double issue_time) {
+  ++kernel_count_;
+  tensor::scale(alpha, x.device_view());
+  return stream.enqueue(
+      perf_.elementwise_seconds(static_cast<std::uint64_t>(x.size())),
+      issue_time);
+}
+
+double Device::softmax_rows(DeviceMatrix& m, Stream& stream,
+                            double issue_time) {
+  ++kernel_count_;
+  tensor::softmax_rows(m.device_view());
+  // Softmax reads/writes each element a handful of times; charge 4 passes.
+  return stream.enqueue(
+      perf_.elementwise_seconds(static_cast<std::uint64_t>(m.size()) * 4),
+      issue_time);
+}
+
+double Device::synchronize(Stream& stream, double issue_time) const {
+  return std::max(issue_time, stream.completion_time());
+}
+
+double Device::synchronize_all(double issue_time) const {
+  double t = issue_time;
+  for (const auto& s : streams_) {
+    t = std::max(t, s->completion_time());
+  }
+  return t;
+}
+
+}  // namespace hetsgd::gpusim

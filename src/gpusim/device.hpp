@@ -1,0 +1,126 @@
+// The simulated GPU device: allocator + streams + kernels + perf model.
+//
+// Substitutes for the V100 + CUDA + cuBLAS stack of the paper. Kernels
+// perform the *real* math (through the tensor library) on device-resident
+// buffers, so training through this device is numerically genuine; the
+// PerfModel charges each kernel's virtual-time cost onto the issuing
+// stream, so the *speed* is the modeled card's, not this host's.
+//
+// Usage mirrors a CUDA program: allocate DeviceMatrix, copy_to_device,
+// enqueue kernels on a Stream, synchronize, copy_to_host. All operations
+// take the host's issue time (the worker's virtual clock) and return the
+// operation's completion time on the stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpusim/device_memory.hpp"
+#include "gpusim/perf_model.hpp"
+#include "gpusim/stream.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace hetsgd::gpusim {
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec);
+
+  const DeviceSpec& spec() const { return perf_.spec(); }
+  const PerfModel& perf() const { return perf_; }
+  DeviceAllocator& allocator() { return allocator_; }
+  const DeviceAllocator& allocator() const { return allocator_; }
+
+  Stream& default_stream() { return *streams_.front(); }
+  // Creates an additional stream (CUDA stream analog); owned by the device.
+  Stream& create_stream();
+
+  // Allocates a zero-initialized rows x cols device matrix (cudaMalloc).
+  DeviceMatrix alloc(tensor::Index rows, tensor::Index cols);
+
+  // --- Transfers (cudaMemcpyAsync analogs) ------------------------------
+  // Each does the real copy immediately and charges modeled PCIe time.
+  double copy_to_device(tensor::ConstMatrixView host, DeviceMatrix& dst,
+                        Stream& stream, double issue_time);
+  double copy_to_host(const DeviceMatrix& src, tensor::MatrixView host,
+                      Stream& stream, double issue_time);
+  double copy_on_device(const DeviceMatrix& src, DeviceMatrix& dst,
+                        Stream& stream, double issue_time);
+
+  // --- Kernels (cuBLAS / custom-kernel analogs) -------------------------
+  // C = alpha * op(A) * op(B) + beta * C.
+  double gemm(tensor::Trans ta, tensor::Trans tb, tensor::Scalar alpha,
+              const DeviceMatrix& a, const DeviceMatrix& b,
+              tensor::Scalar beta, DeviceMatrix& c, Stream& stream,
+              double issue_time);
+
+  // m += broadcast rows of bias (1 x cols).
+  double add_row_bias(const DeviceMatrix& bias, DeviceMatrix& m,
+                      Stream& stream, double issue_time);
+
+  // out(1 x cols) = column sums of m.
+  double col_sums(const DeviceMatrix& m, DeviceMatrix& out, Stream& stream,
+                  double issue_time);
+
+  // y += alpha * x.
+  double axpy(tensor::Scalar alpha, const DeviceMatrix& x, DeviceMatrix& y,
+              Stream& stream, double issue_time);
+
+  // x *= alpha.
+  double scale(tensor::Scalar alpha, DeviceMatrix& x, Stream& stream,
+               double issue_time);
+
+  // Row-wise softmax in place.
+  double softmax_rows(DeviceMatrix& m, Stream& stream, double issue_time);
+
+  // Generic element-wise kernel: fn applied to every element in place.
+  template <typename F>
+  double elementwise(DeviceMatrix& m, F&& fn, Stream& stream,
+                     double issue_time) {
+    auto v = m.device_view();
+    tensor::Scalar* d = v.data();
+    const tensor::Index n = v.size();
+    for (tensor::Index i = 0; i < n; ++i) d[i] = fn(d[i]);
+    return stream.enqueue(
+        perf_.elementwise_seconds(static_cast<std::uint64_t>(n)), issue_time);
+  }
+
+  // Generic binary element-wise kernel: out[i] = fn(a[i], out[i]).
+  template <typename F>
+  double elementwise_binary(const DeviceMatrix& a, DeviceMatrix& out, F&& fn,
+                            Stream& stream, double issue_time) {
+    auto av = a.device_view();
+    auto ov = out.device_view();
+    const tensor::Scalar* as = av.data();
+    tensor::Scalar* os = ov.data();
+    const tensor::Index n = av.size();
+    for (tensor::Index i = 0; i < n; ++i) os[i] = fn(as[i], os[i]);
+    return stream.enqueue(
+        perf_.elementwise_seconds(static_cast<std::uint64_t>(n)), issue_time);
+  }
+
+  // --- Synchronization ---------------------------------------------------
+  // Host blocks until the stream drains; returns the host's new clock value
+  // (max of issue_time and the stream's completion time).
+  double synchronize(Stream& stream, double issue_time) const;
+  // cudaDeviceSynchronize analog: waits for all streams.
+  double synchronize_all(double issue_time) const;
+
+  // Kernel launches issued so far (diagnostics / tests).
+  std::uint64_t kernel_count() const { return kernel_count_; }
+  std::uint64_t transfer_count() const { return transfer_count_; }
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+ private:
+  PerfModel perf_;
+  DeviceAllocator allocator_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::uint64_t kernel_count_ = 0;
+  std::uint64_t transfer_count_ = 0;
+  std::uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace hetsgd::gpusim

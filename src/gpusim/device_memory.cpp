@@ -1,0 +1,67 @@
+#include "gpusim/device_memory.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::gpusim {
+
+DeviceMatrix::DeviceMatrix(DeviceAllocator* allocator, tensor::Index rows,
+                           tensor::Index cols)
+    : allocator_(allocator), rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+  HETSGD_ASSERT(allocator_ != nullptr, "DeviceMatrix requires an allocator");
+  HETSGD_ASSERT(rows >= 0 && cols >= 0, "negative device matrix dimension");
+  allocator_->reserve(bytes());
+  data_.fill_zero();
+}
+
+DeviceMatrix::~DeviceMatrix() { release(); }
+
+DeviceMatrix::DeviceMatrix(DeviceMatrix&& other) noexcept
+    : allocator_(std::exchange(other.allocator_, nullptr)),
+      rows_(std::exchange(other.rows_, 0)),
+      cols_(std::exchange(other.cols_, 0)),
+      data_(std::move(other.data_)) {}
+
+DeviceMatrix& DeviceMatrix::operator=(DeviceMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  allocator_ = std::exchange(other.allocator_, nullptr);
+  rows_ = std::exchange(other.rows_, 0);
+  cols_ = std::exchange(other.cols_, 0);
+  data_ = std::move(other.data_);
+  return *this;
+}
+
+void DeviceMatrix::release() {
+  if (allocator_ != nullptr && allocated()) {
+    allocator_->release(bytes());
+  }
+  allocator_ = nullptr;
+  rows_ = cols_ = 0;
+  data_ = tensor::AlignedBuffer<tensor::Scalar>();
+}
+
+DeviceAllocator::DeviceAllocator(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+void DeviceAllocator::reserve(std::uint64_t bytes) {
+  HETSGD_ASSERT(in_use_ + bytes <= capacity_,
+                "device out of memory (cudaMalloc failure)");
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+  ++allocations_;
+}
+
+void DeviceAllocator::release(std::uint64_t bytes) {
+  HETSGD_ASSERT(bytes <= in_use_, "releasing more device memory than in use");
+  in_use_ -= bytes;
+}
+
+bool DeviceAllocator::would_fit(std::uint64_t bytes) const {
+  return in_use_ + bytes <= capacity_;
+}
+
+}  // namespace hetsgd::gpusim

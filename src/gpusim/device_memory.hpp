@@ -1,0 +1,87 @@
+// Device memory: capacity-accounted allocations backing the simulated GPU.
+//
+// The paper's GPU batch size is upper-bounded by the V100's 16 GB (§VI-B);
+// the allocator enforces that bound so experiments that would not fit on
+// the real card fail here too, instead of silently succeeding.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "tensor/buffer.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/types.hpp"
+
+namespace hetsgd::gpusim {
+
+class DeviceAllocator;
+
+// RAII device allocation holding a rows x cols Scalar matrix in "device"
+// memory (host RAM tagged as device-resident). Host code must go through
+// Device::copy_* to move data in and out; direct access is reserved for the
+// device kernels.
+class DeviceMatrix {
+ public:
+  DeviceMatrix() = default;
+  DeviceMatrix(DeviceAllocator* allocator, tensor::Index rows,
+               tensor::Index cols);
+  ~DeviceMatrix();
+
+  DeviceMatrix(const DeviceMatrix&) = delete;
+  DeviceMatrix& operator=(const DeviceMatrix&) = delete;
+  DeviceMatrix(DeviceMatrix&& other) noexcept;
+  DeviceMatrix& operator=(DeviceMatrix&& other) noexcept;
+
+  tensor::Index rows() const { return rows_; }
+  tensor::Index cols() const { return cols_; }
+  tensor::Index size() const { return rows_ * cols_; }
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(size()) * sizeof(tensor::Scalar);
+  }
+  bool allocated() const { return data_.data() != nullptr; }
+
+  // Device-side views: used only by gpusim kernels and the Device copy
+  // routines.
+  tensor::MatrixView device_view() {
+    return tensor::MatrixView(data_.data(), rows_, cols_);
+  }
+  tensor::ConstMatrixView device_view() const {
+    return tensor::ConstMatrixView(data_.data(), rows_, cols_);
+  }
+
+ private:
+  void release();
+
+  DeviceAllocator* allocator_ = nullptr;
+  tensor::Index rows_ = 0;
+  tensor::Index cols_ = 0;
+  tensor::AlignedBuffer<tensor::Scalar> data_;
+};
+
+// Tracks allocated bytes against the device capacity. Single-threaded by
+// design: all allocations for a device happen on its worker thread.
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(std::uint64_t capacity_bytes);
+
+  // Reserves `bytes`; aborts (device OOM) if the capacity would be exceeded,
+  // mirroring a failed cudaMalloc that the framework treats as fatal.
+  void reserve(std::uint64_t bytes);
+  void release(std::uint64_t bytes);
+
+  // True if `bytes` more would fit.
+  bool would_fit(std::uint64_t bytes) const;
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t in_use() const { return in_use_; }
+  std::uint64_t peak_usage() const { return peak_; }
+  std::uint64_t allocation_count() const { return allocations_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t in_use_ = 0;
+  std::uint64_t peak_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace hetsgd::gpusim

@@ -1,0 +1,65 @@
+// Streams and events on the simulated device.
+//
+// Mirrors the CUDA execution model the paper's GPU worker uses (§V-A:
+// "kernel execution through asynchronous streams"): work enqueued on a
+// stream completes in FIFO order; events mark points in a stream; the host
+// can synchronize on a stream or an event. Kernels here execute eagerly on
+// the worker thread — only their *completion times* are sequenced in
+// virtual time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/virtual_clock.hpp"
+
+namespace hetsgd::gpusim {
+
+class Stream {
+ public:
+  explicit Stream(std::uint32_t id) : id_(id) {}
+
+  std::uint32_t id() const { return id_; }
+
+  // Enqueues an operation of `cost` virtual seconds that may not start
+  // before `earliest_start` (e.g. the host issued it at that time, or it
+  // waits on an event). Returns the operation's completion time.
+  double enqueue(double cost, double earliest_start) {
+    clock_.advance_to(earliest_start);
+    return clock_.advance(cost);
+  }
+
+  // Completion time of the last enqueued operation.
+  double completion_time() const { return clock_.now(); }
+
+  void reset() { clock_.reset(); }
+
+ private:
+  std::uint32_t id_;
+  VirtualClock clock_;
+};
+
+// An event records a stream position (a virtual timestamp once recorded).
+class Event {
+ public:
+  Event() = default;
+
+  void record(const Stream& stream) {
+    time_ = stream.completion_time();
+    recorded_ = true;
+  }
+
+  bool recorded() const { return recorded_; }
+  double time() const { return recorded_ ? time_ : 0.0; }
+
+  // Virtual seconds between two recorded events (CUDA elapsedTime analog).
+  static double elapsed(const Event& start, const Event& stop) {
+    return stop.time() - start.time();
+  }
+
+ private:
+  double time_ = 0.0;
+  bool recorded_ = false;
+};
+
+}  // namespace hetsgd::gpusim

@@ -1,0 +1,110 @@
+#include "gpusim/unified_memory.hpp"
+
+#include <algorithm>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::gpusim {
+
+using tensor::Index;
+
+UnifiedMatrix::UnifiedMatrix(DeviceAllocator* allocator, tensor::Index rows,
+                             tensor::Index cols, tensor::Index rows_per_page)
+    : allocator_(allocator), rows_(rows), cols_(cols),
+      rows_per_page_(rows_per_page), storage_(rows, cols) {
+  HETSGD_ASSERT(allocator_ != nullptr, "UnifiedMatrix needs an allocator");
+  HETSGD_ASSERT(rows > 0 && cols > 0, "empty unified matrix");
+  HETSGD_ASSERT(rows_per_page > 0, "rows_per_page must be positive");
+  const Index pages = (rows + rows_per_page - 1) / rows_per_page;
+  device_resident_.assign(static_cast<std::size_t>(pages), false);
+}
+
+UnifiedMatrix::~UnifiedMatrix() {
+  // Release the device share of any resident pages.
+  for (Index p = 0; p < page_count(); ++p) {
+    if (device_resident_[static_cast<std::size_t>(p)]) {
+      allocator_->release(page_bytes(p));
+    }
+  }
+}
+
+std::uint64_t UnifiedMatrix::page_bytes(tensor::Index page) const {
+  const Index first = page * rows_per_page_;
+  const Index rows_in_page = std::min(rows_per_page_, rows_ - first);
+  return static_cast<std::uint64_t>(rows_in_page) * cols_ *
+         sizeof(tensor::Scalar);
+}
+
+bool UnifiedMatrix::row_on_device(tensor::Index row) const {
+  HETSGD_ASSERT(row >= 0 && row < rows_, "row out of range");
+  return device_resident_[static_cast<std::size_t>(row / rows_per_page_)];
+}
+
+std::uint64_t UnifiedMatrix::migrate(tensor::Index begin, tensor::Index count,
+                                     bool to_device, const PerfModel& perf,
+                                     Stream& stream, double issue_time,
+                                     bool bulk, double* completion) {
+  HETSGD_ASSERT(begin >= 0 && count > 0 && begin + count <= rows_,
+                "unified access out of range");
+  const Index first_page = begin / rows_per_page_;
+  const Index last_page = (begin + count - 1) / rows_per_page_;
+  std::uint64_t moved_pages = 0;
+  std::uint64_t moved_bytes = 0;
+  for (Index p = first_page; p <= last_page; ++p) {
+    const bool resident = device_resident_[static_cast<std::size_t>(p)];
+    if (resident == to_device) continue;
+    if (to_device) {
+      allocator_->reserve(page_bytes(p));
+    } else {
+      allocator_->release(page_bytes(p));
+    }
+    device_resident_[static_cast<std::size_t>(p)] = to_device;
+    moved_bytes += page_bytes(p);
+    ++moved_pages;
+  }
+  double t = issue_time;
+  if (moved_pages > 0) {
+    page_faults_ += bulk ? 0 : moved_pages;
+    bytes_migrated_ += moved_bytes;
+    const double fault_cost =
+        bulk ? 0.0 : kPageFaultLatency * static_cast<double>(moved_pages);
+    t = stream.enqueue(perf.transfer_seconds(moved_bytes) + fault_cost,
+                       issue_time);
+  }
+  if (completion != nullptr) *completion = std::max(t, issue_time);
+  return moved_pages;
+}
+
+tensor::MatrixView UnifiedMatrix::host_access(tensor::Index begin,
+                                              tensor::Index count,
+                                              const PerfModel& perf,
+                                              Stream& stream,
+                                              double issue_time,
+                                              double* completion) {
+  migrate(begin, count, /*to_device=*/false, perf, stream, issue_time,
+          /*bulk=*/false, completion);
+  return storage_.rows_view(begin, count);
+}
+
+tensor::MatrixView UnifiedMatrix::device_access(tensor::Index begin,
+                                                tensor::Index count,
+                                                const PerfModel& perf,
+                                                Stream& stream,
+                                                double issue_time,
+                                                double* completion) {
+  migrate(begin, count, /*to_device=*/true, perf, stream, issue_time,
+          /*bulk=*/false, completion);
+  return storage_.rows_view(begin, count);
+}
+
+double UnifiedMatrix::prefetch_to_device(tensor::Index begin,
+                                         tensor::Index count,
+                                         const PerfModel& perf, Stream& stream,
+                                         double issue_time) {
+  double completion = issue_time;
+  migrate(begin, count, /*to_device=*/true, perf, stream, issue_time,
+          /*bulk=*/true, &completion);
+  return completion;
+}
+
+}  // namespace hetsgd::gpusim

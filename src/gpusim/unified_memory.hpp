@@ -1,0 +1,85 @@
+// Unified (managed) memory simulation.
+//
+// §V-A: the GPU worker isolates "advanced GPU features, such as data
+// transfer through the unified memory address space". This models CUDA
+// managed memory: one logical matrix whose pages migrate on demand between
+// host and device. Accesses from the non-resident side trigger page faults
+// charged at the link bandwidth plus a per-fault latency; device-resident
+// pages are accounted against device memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device_memory.hpp"
+#include "gpusim/perf_model.hpp"
+#include "gpusim/stream.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hetsgd::gpusim {
+
+class UnifiedMatrix {
+ public:
+  // Pages span whole rows; `rows_per_page` controls granularity (CUDA
+  // migrates 64 KiB-2 MiB chunks; row granularity keeps the model simple
+  // and matches batched access patterns). Pages start host-resident.
+  UnifiedMatrix(DeviceAllocator* allocator, tensor::Index rows,
+                tensor::Index cols, tensor::Index rows_per_page = 64);
+
+  ~UnifiedMatrix();
+  UnifiedMatrix(const UnifiedMatrix&) = delete;
+  UnifiedMatrix& operator=(const UnifiedMatrix&) = delete;
+
+  tensor::Index rows() const { return rows_; }
+  tensor::Index cols() const { return cols_; }
+  tensor::Index page_count() const {
+    return static_cast<tensor::Index>(device_resident_.size());
+  }
+
+  // Declares a host-side access to rows [begin, begin+count): migrates any
+  // device-resident pages back, charging the stream. Returns completion
+  // time and a mutable view valid until the next device access.
+  tensor::MatrixView host_access(tensor::Index begin, tensor::Index count,
+                                 const PerfModel& perf, Stream& stream,
+                                 double issue_time, double* completion);
+
+  // Device-side access: migrates host-resident pages in.
+  tensor::MatrixView device_access(tensor::Index begin, tensor::Index count,
+                                   const PerfModel& perf, Stream& stream,
+                                   double issue_time, double* completion);
+
+  // Prefetch analog (cudaMemPrefetchAsync): migrates without the per-fault
+  // latency penalty (one bulk transfer).
+  double prefetch_to_device(tensor::Index begin, tensor::Index count,
+                            const PerfModel& perf, Stream& stream,
+                            double issue_time);
+
+  // True if the page containing `row` currently lives on the device.
+  bool row_on_device(tensor::Index row) const;
+
+  std::uint64_t page_faults() const { return page_faults_; }
+  std::uint64_t bytes_migrated() const { return bytes_migrated_; }
+
+ private:
+  std::uint64_t page_bytes(tensor::Index page) const;
+  // Migrates pages covering [begin, begin+count) to `to_device`; returns
+  // the number of pages moved. `bulk` suppresses per-fault latency.
+  std::uint64_t migrate(tensor::Index begin, tensor::Index count,
+                        bool to_device, const PerfModel& perf, Stream& stream,
+                        double issue_time, bool bulk, double* completion);
+
+  DeviceAllocator* allocator_;
+  tensor::Index rows_;
+  tensor::Index cols_;
+  tensor::Index rows_per_page_;
+  tensor::Matrix storage_;  // single backing store; residency is logical
+  std::vector<bool> device_resident_;
+  std::uint64_t page_faults_ = 0;
+  std::uint64_t bytes_migrated_ = 0;
+};
+
+// Cost of a unified-memory page fault beyond the bytes themselves
+// (fault handling + TLB shootdown), in seconds.
+inline constexpr double kPageFaultLatency = 20e-6;
+
+}  // namespace hetsgd::gpusim

@@ -1,0 +1,45 @@
+#include "msg/actor.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+#include "common/macros.hpp"
+
+namespace hetsgd::msg {
+
+Actor::Actor(std::string name) : name_(std::move(name)) {}
+
+Actor::~Actor() {
+  // Subclasses must join before destruction; enforce rather than hang.
+  HETSGD_ASSERT(!thread_.joinable(), "Actor destroyed while thread running");
+}
+
+void Actor::start() {
+  HETSGD_ASSERT(!started_, "Actor::start called twice");
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Actor::join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+bool Actor::send(Envelope envelope) {
+  return mailbox_.push(std::move(envelope));
+}
+
+void Actor::run() {
+  on_start();
+  while (auto envelope = mailbox_.pop()) {
+    if (!handle(std::move(*envelope))) {
+      break;
+    }
+  }
+  mailbox_.close();
+  on_stop();
+  HETSGD_LOG_DEBUG(name_.c_str(), "actor loop exited");
+}
+
+}  // namespace hetsgd::msg

@@ -1,0 +1,55 @@
+// Actor: a long-lived thread with an MPSC mailbox.
+//
+// The coordinator and every worker in the framework is an Actor (§V-A:
+// "the coordinator and workers are implemented as stand-alone system
+// threads that exist over the entire duration of the program"). Messages
+// are processed strictly in arrival order by the owning thread; all
+// cross-thread communication goes through mailboxes, all bulk data through
+// shared memory references.
+#pragma once
+
+#include <string>
+#include <thread>
+
+#include "concurrent/mpsc_queue.hpp"
+#include "msg/message.hpp"
+
+namespace hetsgd::msg {
+
+class Actor {
+ public:
+  explicit Actor(std::string name);
+  virtual ~Actor();
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  // Spawns the message loop thread. Must be called exactly once.
+  void start();
+
+  // Blocks until the message loop exits (after a Shutdown was handled).
+  void join();
+
+  // Enqueues a message; thread-safe. Returns false if the mailbox closed.
+  bool send(Envelope envelope);
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  // Handles one message on the actor thread. Return false to exit the loop.
+  virtual bool handle(Envelope envelope) = 0;
+
+  // Hooks around the loop, run on the actor thread.
+  virtual void on_start() {}
+  virtual void on_stop() {}
+
+ private:
+  void run();
+
+  std::string name_;
+  concurrent::MpscQueue<Envelope> mailbox_;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace hetsgd::msg

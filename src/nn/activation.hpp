@@ -1,0 +1,38 @@
+// Activation functions for the fully-connected layers.
+//
+// The paper uses sigmoid in hidden layers and softmax at the output
+// (§VII-A Methodology); tanh/ReLU/identity are provided for the framework's
+// role as a general testbed.
+#pragma once
+
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace hetsgd::nn {
+
+enum class Activation {
+  kIdentity,
+  kSigmoid,
+  kTanh,
+  kRelu,
+};
+
+const char* activation_name(Activation a);
+bool parse_activation(const std::string& name, Activation& out);
+
+// Applies the activation element-wise in place.
+void activation_forward(Activation a, tensor::MatrixView m);
+
+// Multiplies `delta` in place by f'(z) expressed through the *activated*
+// values `activated` (all supported activations admit this form:
+// sigmoid' = a(1-a), tanh' = 1-a^2, relu' = [a > 0], identity' = 1).
+void activation_backward(Activation a, tensor::ConstMatrixView activated,
+                         tensor::MatrixView delta);
+
+// Scalar forms used by tests/gradient checks.
+tensor::Scalar activation_apply(Activation a, tensor::Scalar x);
+tensor::Scalar activation_derivative_from_output(Activation a,
+                                                 tensor::Scalar activated);
+
+}  // namespace hetsgd::nn

@@ -1,0 +1,195 @@
+#include "nn/device_mlp.hpp"
+
+#include "common/macros.hpp"
+#include "nn/loss.hpp"
+
+namespace hetsgd::nn {
+
+using tensor::Index;
+using tensor::Scalar;
+
+DeviceMlp::DeviceMlp(gpusim::Device& device, const MlpConfig& config,
+                     tensor::Index max_batch)
+    : device_(device), stream_(device.create_stream()), config_(config),
+      max_batch_(max_batch) {
+  config_.validate();
+  HETSGD_ASSERT(max_batch > 0, "max_batch must be positive");
+  const auto shapes = config_.layer_shapes();
+  replica_.reserve(shapes.size());
+  gradient_.reserve(shapes.size());
+  acts_.reserve(shapes.size());
+  deltas_.reserve(shapes.size());
+  for (const auto& s : shapes) {
+    replica_.push_back({device_.alloc(s.out, s.in), device_.alloc(1, s.out)});
+    gradient_.push_back({device_.alloc(s.out, s.in), device_.alloc(1, s.out)});
+    acts_.push_back(device_.alloc(max_batch, s.out));
+    deltas_.push_back(device_.alloc(max_batch, s.out));
+  }
+  input_ = device_.alloc(max_batch, config_.input_dim);
+}
+
+std::uint64_t DeviceMlp::device_bytes() const {
+  std::uint64_t total = input_.bytes();
+  for (std::size_t l = 0; l < replica_.size(); ++l) {
+    total += replica_[l].weights.bytes() + replica_[l].bias.bytes();
+    total += gradient_[l].weights.bytes() + gradient_[l].bias.bytes();
+    total += acts_[l].bytes() + deltas_[l].bytes();
+  }
+  return total;
+}
+
+double DeviceMlp::upload_model(const Model& model, double issue_time) {
+  HETSGD_ASSERT(model.layer_count() == replica_.size(),
+                "model/replica layer count mismatch");
+  double t = issue_time;
+  for (std::size_t l = 0; l < replica_.size(); ++l) {
+    t = device_.copy_to_device(model.layer(l).weights.view(),
+                               replica_[l].weights, stream_, issue_time);
+    t = device_.copy_to_device(model.layer(l).bias.view(), replica_[l].bias,
+                               stream_, issue_time);
+  }
+  return t;
+}
+
+tensor::Scalar DeviceMlp::compute_gradient(tensor::ConstMatrixView x,
+                                           std::span<const std::int32_t> labels,
+                                           double issue_time,
+                                           double* completion_time) {
+  const Index batch = x.rows();
+  HETSGD_ASSERT(batch > 0 && batch <= max_batch_, "batch exceeds max_batch");
+  HETSGD_ASSERT(x.cols() == config_.input_dim, "batch width mismatch");
+  HETSGD_ASSERT(static_cast<Index>(labels.size()) == batch,
+                "label count mismatch");
+
+  const std::size_t layers = replica_.size();
+
+  // H2D: the batch itself. (The labels ride along: 4 bytes each, charged
+  // below without a dedicated device buffer — the loss kernel is the only
+  // consumer.)
+  auto input_rows = tensor::MatrixView(input_.device_view().data(), batch,
+                                       config_.input_dim);
+  // Real copy + modeled PCIe time for exactly the batch rows.
+  {
+    tensor::Scalar* dst = input_rows.data();
+    const tensor::Scalar* src = x.data();
+    for (Index r = 0; r < batch; ++r) {
+      for (Index c = 0; c < x.cols(); ++c) {
+        dst[r * x.cols() + c] = src[r * x.cols() + c];
+      }
+    }
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(batch) * x.cols() * sizeof(Scalar) +
+        static_cast<std::uint64_t>(batch) * sizeof(std::int32_t);
+    stream_.enqueue(device_.perf().transfer_seconds(bytes), issue_time);
+  }
+
+  // Forward: per layer, Z = A_prev * W^T + b, then activation.
+  tensor::ConstMatrixView prev(input_rows);
+  for (std::size_t l = 0; l < layers; ++l) {
+    const auto wv = replica_[l].weights.device_view();
+    auto out = tensor::MatrixView(acts_[l].device_view().data(), batch,
+                                  wv.rows());
+    tensor::matmul_nt(prev, wv, out);
+    tensor::add_row_bias(replica_[l].bias.device_view(), out);
+    stream_.enqueue(
+        device_.perf().gemm_seconds(batch, wv.rows(), wv.cols()), issue_time);
+    if (l + 1 < layers) {
+      activation_forward(config_.hidden_activation, out);
+      stream_.enqueue(device_.perf().elementwise_seconds(
+                          static_cast<std::uint64_t>(out.size())),
+                      issue_time);
+    }
+    prev = out;
+  }
+
+  // Loss + dLoss/dlogits (fused softmax-xent kernel).
+  const Index classes = config_.num_classes;
+  auto logits = tensor::ConstMatrixView(acts_.back().device_view().data(),
+                                        batch, classes);
+  auto dlogits = tensor::MatrixView(deltas_.back().device_view().data(), batch,
+                                    classes);
+  const Scalar loss = softmax_cross_entropy(logits, labels, &dlogits);
+  stream_.enqueue(device_.perf().elementwise_seconds(
+                      static_cast<std::uint64_t>(logits.size()) * 6),
+                  issue_time);
+  // One scalar (the loss) returns to the host.
+  stream_.enqueue(device_.perf().transfer_seconds(sizeof(Scalar)), issue_time);
+
+  // Backward.
+  for (std::size_t l = layers; l-- > 0;) {
+    const auto wv = replica_[l].weights.device_view();
+    auto delta = tensor::MatrixView(deltas_[l].device_view().data(), batch,
+                                    wv.rows());
+    tensor::ConstMatrixView prev_act =
+        l == 0 ? tensor::ConstMatrixView(input_rows)
+               : tensor::ConstMatrixView(acts_[l - 1].device_view().data(),
+                                         batch, wv.cols());
+    // dW = delta^T * prev_act.
+    tensor::matmul_tn(delta, prev_act, gradient_[l].weights.device_view());
+    stream_.enqueue(
+        device_.perf().gemm_seconds(wv.rows(), wv.cols(), batch), issue_time);
+    // db = column sums of delta.
+    tensor::col_sums(delta, gradient_[l].bias.device_view());
+    stream_.enqueue(device_.perf().elementwise_seconds(
+                        static_cast<std::uint64_t>(delta.size())),
+                    issue_time);
+    if (l > 0) {
+      auto prev_delta = tensor::MatrixView(deltas_[l - 1].device_view().data(),
+                                           batch, wv.cols());
+      tensor::matmul_nn(delta, wv, prev_delta);
+      stream_.enqueue(
+          device_.perf().gemm_seconds(batch, wv.cols(), wv.rows()),
+          issue_time);
+      auto prev_out = tensor::ConstMatrixView(prev_act);
+      activation_backward(config_.hidden_activation, prev_out, prev_delta);
+      stream_.enqueue(device_.perf().elementwise_seconds(
+                          static_cast<std::uint64_t>(prev_delta.size())),
+                      issue_time);
+    }
+  }
+
+  if (completion_time != nullptr) {
+    *completion_time = device_.synchronize(stream_, issue_time);
+  }
+  return loss;
+}
+
+double DeviceMlp::apply_gradient_on_device(tensor::Scalar eta,
+                                           double issue_time) {
+  double t = issue_time;
+  for (std::size_t l = 0; l < replica_.size(); ++l) {
+    t = device_.axpy(-eta, gradient_[l].weights, replica_[l].weights, stream_,
+                     issue_time);
+    t = device_.axpy(-eta, gradient_[l].bias, replica_[l].bias, stream_,
+                     issue_time);
+  }
+  return t;
+}
+
+double DeviceMlp::download_gradient(Gradient& grad, double issue_time) {
+  HETSGD_ASSERT(grad.layer_count() == gradient_.size(),
+                "gradient layer count mismatch");
+  double t = issue_time;
+  for (std::size_t l = 0; l < gradient_.size(); ++l) {
+    t = device_.copy_to_host(gradient_[l].weights,
+                             grad.layer(l).weights.view(), stream_, issue_time);
+    t = device_.copy_to_host(gradient_[l].bias, grad.layer(l).bias.view(),
+                             stream_, issue_time);
+  }
+  return t;
+}
+
+double DeviceMlp::download_model(Model& model, double issue_time) {
+  HETSGD_ASSERT(model.layer_count() == replica_.size(),
+                "model layer count mismatch");
+  double t = issue_time;
+  for (std::size_t l = 0; l < replica_.size(); ++l) {
+    t = device_.copy_to_host(replica_[l].weights, model.layer(l).weights.view(),
+                             stream_, issue_time);
+    t = device_.copy_to_host(replica_[l].bias, model.layer(l).bias.view(),
+                             stream_, issue_time);
+  }
+  return t;
+}
+
+}  // namespace hetsgd::nn

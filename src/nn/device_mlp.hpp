@@ -1,0 +1,75 @@
+// GPU-side MLP execution on the simulated device.
+//
+// Mirrors the CUDA/cuBLAS path of the paper's GPU worker (§V-A): the model
+// replica is a deep copy living in device memory ("a transition buffer
+// between CPU and GPU"), batches are moved host->device, the
+// forward/backward passes run as a kernel sequence on a stream, and the
+// resulting gradient is moved device->host where the worker integrates it
+// into the global model. All intermediate outputs stay in device memory to
+// minimize data movement, exactly as described in the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "nn/model.hpp"
+
+namespace hetsgd::nn {
+
+class DeviceMlp {
+ public:
+  // Allocates device memory for the replica, gradient, activations, and
+  // staging buffers, sized for batches up to `max_batch`. The allocation is
+  // checked against the device's (16 GB) capacity.
+  DeviceMlp(gpusim::Device& device, const MlpConfig& config,
+            tensor::Index max_batch);
+
+  const MlpConfig& config() const { return config_; }
+  tensor::Index max_batch() const { return max_batch_; }
+
+  // Device-resident bytes held by this executor.
+  std::uint64_t device_bytes() const;
+
+  // Uploads (deep-copies) the host model into the device replica.
+  // Returns the virtual completion time.
+  double upload_model(const Model& model, double issue_time);
+
+  // Runs forward + backward on `x` (batch x input_dim) with the given
+  // labels against the device replica. Returns the batch loss and sets
+  // `*completion_time`. The gradient remains in device memory.
+  tensor::Scalar compute_gradient(tensor::ConstMatrixView x,
+                                  std::span<const std::int32_t> labels,
+                                  double issue_time, double* completion_time);
+
+  // replica <- replica - eta * gradient, entirely on device.
+  double apply_gradient_on_device(tensor::Scalar eta, double issue_time);
+
+  // Moves the device gradient into `grad` (host). The worker then applies
+  // it to the global model (gradient-push integration).
+  double download_gradient(Gradient& grad, double issue_time);
+
+  // Moves the device replica into `model` (host) — replica-push
+  // integration; overwrites concurrent host updates, see §VI-B staleness
+  // discussion.
+  double download_model(Model& model, double issue_time);
+
+ private:
+  gpusim::Device& device_;
+  gpusim::Stream& stream_;
+  MlpConfig config_;
+  tensor::Index max_batch_;
+
+  struct DeviceLayer {
+    gpusim::DeviceMatrix weights;
+    gpusim::DeviceMatrix bias;
+  };
+  std::vector<DeviceLayer> replica_;
+  std::vector<DeviceLayer> gradient_;
+  std::vector<gpusim::DeviceMatrix> acts_;
+  std::vector<gpusim::DeviceMatrix> deltas_;
+  gpusim::DeviceMatrix input_;
+};
+
+}  // namespace hetsgd::nn

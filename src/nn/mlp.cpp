@@ -1,0 +1,136 @@
+#include "nn/mlp.hpp"
+
+#include "common/macros.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace hetsgd::nn {
+
+using tensor::Index;
+using tensor::Scalar;
+
+void Workspace::ensure(const Model& model, tensor::Index batch) {
+  const std::size_t layers = model.layer_count();
+  acts_.resize(layers);
+  deltas_.resize(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    const Index out = model.layer(l).weights.rows();
+    if (acts_[l].rows() < batch || acts_[l].cols() != out) {
+      acts_[l].resize(batch, out);
+      deltas_[l].resize(batch, out);
+    }
+  }
+  batch_ = batch;
+}
+
+namespace {
+
+// Activation view limited to the current batch (workspace rows may exceed
+// the batch when a smaller batch follows a larger one).
+tensor::MatrixView batch_rows(tensor::Matrix& m, Index batch) {
+  return m.rows_view(0, batch);
+}
+
+}  // namespace
+
+void forward(const Model& model, tensor::ConstMatrixView x, Workspace& ws) {
+  const Index batch = x.rows();
+  HETSGD_ASSERT(x.cols() == model.config().input_dim,
+                "input width != model input_dim");
+  ws.ensure(model, batch);
+  const std::size_t layers = model.layer_count();
+  tensor::ConstMatrixView input = x;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const Layer& layer = model.layer(l);
+    auto out = batch_rows(ws.acts()[l], batch);
+    // Z = input * W^T  (batch x out)
+    tensor::matmul_nt(input, layer.weights.view(), out);
+    tensor::add_row_bias(layer.bias.view(), out);
+    if (l + 1 < layers) {
+      activation_forward(model.config().hidden_activation, out);
+    }
+    input = out;
+  }
+}
+
+tensor::Scalar compute_loss(const Model& model, tensor::ConstMatrixView x,
+                            std::span<const std::int32_t> labels,
+                            Workspace& ws) {
+  forward(model, x, ws);
+  auto logits = ws.logits().rows_view(0, x.rows());
+  return softmax_cross_entropy(logits, labels, nullptr);
+}
+
+namespace {
+
+// Shared backward pass: assumes ws.deltas().back() already holds
+// dLoss/dlogits for the batch. Fills `grad` and the remaining deltas.
+void backward(const Model& model, tensor::ConstMatrixView x, Workspace& ws,
+              Gradient& grad) {
+  const Index batch = x.rows();
+  const std::size_t layers = model.layer_count();
+  HETSGD_ASSERT(grad.same_shape(model), "gradient shape mismatch");
+
+  for (std::size_t l = layers; l-- > 0;) {
+    auto delta = ws.deltas()[l].rows_view(0, batch);
+    // Input to layer l during the forward pass.
+    tensor::ConstMatrixView prev =
+        l == 0 ? x
+               : tensor::ConstMatrixView(ws.acts()[l - 1].rows_view(0, batch));
+    // dW^l = delta^T * prev   (out x in)
+    tensor::matmul_tn(delta, prev, grad.layer(l).weights.view());
+    // db^l = column sums of delta.
+    tensor::col_sums(delta, grad.layer(l).bias.view());
+    if (l > 0) {
+      // delta_{l-1} = (delta_l * W^l) ⊙ act'(a_{l-1})
+      auto prev_delta = ws.deltas()[l - 1].rows_view(0, batch);
+      tensor::matmul_nn(delta, model.layer(l).weights.view(), prev_delta);
+      activation_backward(model.config().hidden_activation,
+                          ws.acts()[l - 1].rows_view(0, batch), prev_delta);
+    }
+  }
+}
+
+}  // namespace
+
+tensor::Scalar compute_gradient(const Model& model, tensor::ConstMatrixView x,
+                                std::span<const std::int32_t> labels,
+                                Workspace& ws, Gradient& grad) {
+  forward(model, x, ws);
+  const Index batch = x.rows();
+  auto logits = ws.logits().rows_view(0, batch);
+  auto dlogits = ws.deltas().back().rows_view(0, batch);
+  const Scalar loss =
+      softmax_cross_entropy(logits, labels, &dlogits);
+  backward(model, x, ws, grad);
+  return loss;
+}
+
+tensor::Scalar compute_gradient_bce(const Model& model,
+                                    tensor::ConstMatrixView x,
+                                    tensor::ConstMatrixView targets,
+                                    Workspace& ws, Gradient& grad) {
+  forward(model, x, ws);
+  const Index batch = x.rows();
+  auto logits = ws.logits().rows_view(0, batch);
+  auto dlogits = ws.deltas().back().rows_view(0, batch);
+  const Scalar loss = sigmoid_bce(logits, targets, &dlogits);
+  backward(model, x, ws, grad);
+  return loss;
+}
+
+void sgd_step(Model& model, const Gradient& grad, tensor::Scalar eta) {
+  model.axpy(-eta, grad);
+}
+
+double training_flops(const MlpConfig& config, tensor::Index batch) {
+  double flops = 0;
+  for (const auto& s : config.layer_shapes()) {
+    // Forward GEMM + two backward GEMMs (dW and delta propagation), each
+    // 2*m*n*k; element-wise work is negligible by comparison.
+    flops += 3.0 * tensor::gemm_flops(batch, s.out, s.in);
+  }
+  return flops;
+}
+
+}  // namespace hetsgd::nn

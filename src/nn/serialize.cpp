@@ -1,0 +1,111 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'S', 'G', 'D'};
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_i64(std::ofstream& out, std::int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::ifstream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  HETSGD_ASSERT(in.good(), "checkpoint truncated");
+  return v;
+}
+
+std::int64_t read_i64(std::ifstream& in) {
+  std::int64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  HETSGD_ASSERT(in.good(), "checkpoint truncated");
+  return v;
+}
+
+void write_matrix(std::ofstream& out, const tensor::Matrix& m) {
+  write_i64(out, m.rows());
+  write_i64(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(tensor::Scalar)));
+}
+
+void read_matrix(std::ifstream& in, tensor::Matrix& m) {
+  const tensor::Index rows = read_i64(in);
+  const tensor::Index cols = read_i64(in);
+  HETSGD_ASSERT(rows == m.rows() && cols == m.cols(),
+                "checkpoint layer shape mismatch");
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(tensor::Scalar)));
+  HETSGD_ASSERT(in.good(), "checkpoint truncated");
+}
+
+}  // namespace
+
+void save_model(const Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  HETSGD_ASSERT(out.good(), "cannot open checkpoint for writing");
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kCheckpointVersion);
+
+  const MlpConfig& c = model.config();
+  write_i64(out, c.input_dim);
+  write_i64(out, c.num_classes);
+  write_u32(out, static_cast<std::uint32_t>(c.hidden_layers));
+  write_i64(out, c.hidden_units);
+  write_u32(out, static_cast<std::uint32_t>(c.hidden_activation));
+  write_u32(out, static_cast<std::uint32_t>(c.init));
+
+  write_u32(out, static_cast<std::uint32_t>(model.layer_count()));
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    write_matrix(out, model.layer(l).weights);
+    write_matrix(out, model.layer(l).bias);
+  }
+  out.flush();
+  HETSGD_ASSERT(out.good(), "checkpoint write failed");
+}
+
+Model load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HETSGD_ASSERT(in.good(), "cannot open checkpoint for reading");
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  HETSGD_ASSERT(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                "not a hetsgd checkpoint (bad magic)");
+  const std::uint32_t version = read_u32(in);
+  HETSGD_ASSERT(version == kCheckpointVersion,
+                "unsupported checkpoint version");
+
+  MlpConfig c;
+  c.input_dim = read_i64(in);
+  c.num_classes = read_i64(in);
+  c.hidden_layers = static_cast<int>(read_u32(in));
+  c.hidden_units = read_i64(in);
+  c.hidden_activation = static_cast<Activation>(read_u32(in));
+  c.init = static_cast<InitScheme>(read_u32(in));
+  c.validate();
+
+  Rng rng(0);  // placeholder init, immediately overwritten
+  Model model(c, rng);
+  const std::uint32_t layers = read_u32(in);
+  HETSGD_ASSERT(layers == model.layer_count(),
+                "checkpoint layer count mismatch");
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    read_matrix(in, model.layer(l).weights);
+    read_matrix(in, model.layer(l).bias);
+  }
+  return model;
+}
+
+}  // namespace hetsgd::nn

@@ -1,0 +1,25 @@
+// Model checkpointing: binary save/load of an MLP and its configuration.
+//
+// Long heterogeneous training runs need restartable state; the format is a
+// small versioned header (architecture) followed by raw row-major layer
+// data. Endianness follows the host (checkpoints are not a wire format).
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace hetsgd::nn {
+
+// Writes the model (architecture + parameters) to `path`. Aborts on I/O
+// failure.
+void save_model(const Model& model, const std::string& path);
+
+// Reads a checkpoint written by save_model. Aborts on a missing file,
+// bad magic, unsupported version, or truncated data.
+Model load_model(const std::string& path);
+
+// Current checkpoint format version.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+}  // namespace hetsgd::nn

@@ -1,0 +1,89 @@
+// Cache-line-aligned heap buffer, the storage backing Matrix.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.hpp"
+
+namespace hetsgd::tensor {
+
+// Owning aligned buffer with value semantics. Alignment keeps GEMM panels
+// on cache-line boundaries and lets concurrently-updated model shards avoid
+// straddling lines.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { allocate(count); }
+
+  AlignedBuffer(const AlignedBuffer& other) {
+    allocate(other.count_);
+    if (count_ > 0) std::memcpy(data_, other.data_, count_ * sizeof(T));
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this == &other) return *this;
+    if (count_ != other.count_) {
+      release();
+      allocate(other.count_);
+    }
+    if (count_ > 0) std::memcpy(data_, other.data_, count_ * sizeof(T));
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this == &other) return *this;
+    release();
+    data_ = std::exchange(other.data_, nullptr);
+    count_ = std::exchange(other.count_, 0);
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  void fill_zero() {
+    if (count_ > 0) std::memset(data_, 0, count_ * sizeof(T));
+  }
+
+ private:
+  void allocate(std::size_t count) {
+    count_ = count;
+    if (count == 0) {
+      data_ = nullptr;
+      return;
+    }
+    std::size_t bytes = count * sizeof(T);
+    // aligned_alloc requires size to be a multiple of alignment.
+    bytes = (bytes + hetsgd::kCacheLineSize - 1) / hetsgd::kCacheLineSize *
+            hetsgd::kCacheLineSize;
+    data_ = static_cast<T*>(std::aligned_alloc(hetsgd::kCacheLineSize, bytes));
+    HETSGD_ASSERT(data_ != nullptr, "aligned allocation failed");
+  }
+
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hetsgd::tensor

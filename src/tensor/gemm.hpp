@@ -1,0 +1,47 @@
+// General matrix-matrix multiply — the host-side replacement for the MKL
+// GEMM the paper calls from its CPU worker.
+//
+// C = alpha * op(A) * op(B) + beta * C, row-major, with op ∈ {identity,
+// transpose}. The blocked kernel tiles for L1/L2 and parallelizes over row
+// panels with OpenMP when enabled; `naive` is the O(n^3) reference oracle
+// used by the test suite.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace hetsgd::tensor {
+
+enum class Trans { kNo, kYes };
+
+struct GemmDims {
+  Index m;  // rows of op(A) and C
+  Index n;  // cols of op(B) and C
+  Index k;  // cols of op(A) == rows of op(B)
+};
+
+// Validates shapes and returns the (m, n, k) of the product. Aborts on
+// mismatch — shape errors are programming bugs, not runtime conditions.
+GemmDims check_gemm_shapes(Trans ta, Trans tb, ConstMatrixView a,
+                           ConstMatrixView b, ConstMatrixView c);
+
+// Reference implementation (single-threaded, no blocking).
+void gemm_naive(Trans ta, Trans tb, Scalar alpha, ConstMatrixView a,
+                ConstMatrixView b, Scalar beta, MatrixView c);
+
+// Production implementation: cache-blocked, OpenMP-parallel over row panels.
+void gemm(Trans ta, Trans tb, Scalar alpha, ConstMatrixView a,
+          ConstMatrixView b, Scalar beta, MatrixView c);
+
+// Convenience wrappers matching the three products in MLP training.
+// out(BxN) = x(BxK) * w(NxK)^T
+void matmul_nt(ConstMatrixView x, ConstMatrixView w, MatrixView out);
+// out(MxN) = a(KxM)^T * b(KxN)
+void matmul_tn(ConstMatrixView a, ConstMatrixView b, MatrixView out);
+// out(MxN) = a(MxK) * b(KxN)
+void matmul_nn(ConstMatrixView a, ConstMatrixView b, MatrixView out);
+
+// Number of floating point operations a GEMM of these dimensions performs
+// (2*m*n*k); used by the gpusim perf model to charge virtual time.
+double gemm_flops(Index m, Index n, Index k);
+
+}  // namespace hetsgd::tensor

@@ -1,0 +1,20 @@
+// Scalar type used across the library.
+//
+// The paper trains in float32; we use float64 because the experiments here
+// run under virtual time (absolute FLOP speed is charged by the perf model,
+// not measured), and double precision makes the finite-difference gradient
+// checks in the test suite exact enough to be trustworthy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hetsgd::tensor {
+
+using Scalar = double;
+
+// Index type for matrix dimensions. Signed arithmetic keeps blocked-loop
+// bounds simple; dimensions are validated non-negative at construction.
+using Index = std::int64_t;
+
+}  // namespace hetsgd::tensor

@@ -1,0 +1,190 @@
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hetsgd::core {
+namespace {
+
+using tensor::Index;
+
+AdaptiveController two_workers(double alpha = 2.0) {
+  AdaptiveController c(alpha);
+  // Worker 0: CPU — quantum 56 (one sub-batch per simulated thread),
+  // thresholds 1-64 examples per thread, starts at the lower threshold.
+  c.register_worker(0, {56, 56, 56 * 64, 56});
+  // Worker 1: GPU — thresholds 64-8192, starts at the upper threshold.
+  c.register_worker(1, {8192, 64, 8192, 1});
+  return c;
+}
+
+TEST(Adaptive, InitialBatches) {
+  auto c = two_workers();
+  EXPECT_EQ(c.batch(0), 56);
+  EXPECT_EQ(c.batch(1), 8192);
+}
+
+TEST(Adaptive, SingleWorkerNeverChanges) {
+  AdaptiveController c(2.0);
+  c.register_worker(0, {128, 64, 256, 1});
+  for (std::uint64_t u : {0ULL, 10ULL, 100ULL, 1000ULL}) {
+    EXPECT_EQ(c.on_request(0, u), 128);
+  }
+}
+
+TEST(Adaptive, FastestWorkerSlowsDown) {
+  auto c = two_workers();
+  c.on_request(0, 0);
+  // GPU starts at max already; the *CPU* ahead case grows CPU batch:
+  c.on_request(1, 5);            // GPU has 5 updates
+  Index b = c.on_request(0, 50); // CPU has 50 > 5: slow it down
+  EXPECT_EQ(b, 112);             // 56 * 2
+  b = c.on_request(0, 100);
+  EXPECT_EQ(b, 224);
+}
+
+TEST(Adaptive, SlowestWorkerSpeedsUp) {
+  auto c = two_workers();
+  c.on_request(0, 100);          // CPU: 100 updates
+  Index b = c.on_request(1, 5);  // GPU behind: shrink its batch
+  EXPECT_EQ(b, 4096);
+  b = c.on_request(1, 6);
+  EXPECT_EQ(b, 2048);
+}
+
+TEST(Adaptive, ClampsAtThresholds) {
+  auto c = two_workers();
+  c.on_request(0, 1000000);
+  Index b = 8192;
+  for (int i = 0; i < 20; ++i) {
+    b = c.on_request(1, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(b, 64);  // GPU clamped at min_b
+
+  Index bc = 56;
+  for (int i = 0; i < 20; ++i) {
+    bc = c.on_request(0, 1000000 + static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(bc, 56 * 64);  // CPU clamped at max_b
+}
+
+TEST(Adaptive, EqualUpdatesKeepBatch) {
+  auto c = two_workers();
+  // Bring the GPU (already at max) to 10 first so the CPU's report sees an
+  // equal peer and keeps its batch.
+  c.on_request(1, 10);
+  EXPECT_EQ(c.on_request(0, 10), 56);
+  EXPECT_EQ(c.on_request(0, 10), 56);
+  EXPECT_EQ(c.batch(0), 56);
+}
+
+TEST(Adaptive, QuantumRounding) {
+  AdaptiveController c(2.0);
+  c.register_worker(0, {56, 56, 56 * 64, 56});
+  c.register_worker(1, {1000, 1, 100000, 1});
+  // Make worker 0 the fastest repeatedly; batches must stay multiples of 56.
+  std::uint64_t updates = 100;
+  for (int i = 0; i < 10; ++i) {
+    Index b = c.on_request(0, updates);
+    EXPECT_EQ(b % 56, 0) << "batch " << b;
+    updates += 100;
+  }
+}
+
+TEST(Adaptive, CustomAlpha) {
+  AdaptiveController c(4.0);
+  c.register_worker(0, {64, 16, 1024, 1});
+  c.register_worker(1, {64, 16, 1024, 1});
+  c.on_request(1, 10);                    // ahead of worker 0: 64*4 = 256
+  EXPECT_EQ(c.batch(1), 256);
+  EXPECT_EQ(c.on_request(0, 100), 256);   // now worker 0 is ahead: 64*4
+  EXPECT_EQ(c.on_request(1, 10), 64);     // behind again: 256/4
+  EXPECT_EQ(c.on_request(1, 10), 16);     // still behind: 64/4
+}
+
+TEST(Adaptive, AlphaMustExceedOne) {
+  EXPECT_DEATH(AdaptiveController(1.0), "alpha");
+  EXPECT_DEATH(AdaptiveController(0.5), "alpha");
+}
+
+TEST(Adaptive, MonotoneUpdatesEnforced) {
+  auto c = two_workers();
+  c.on_request(0, 10);
+  EXPECT_DEATH(c.on_request(0, 5), "monotone");
+}
+
+TEST(Adaptive, InvalidLimitsDie) {
+  AdaptiveController c(2.0);
+  EXPECT_DEATH(c.register_worker(0, {10, 20, 5, 1}), "min batch exceeds max");
+  AdaptiveController c2(2.0);
+  EXPECT_DEATH(c2.register_worker(0, {500, 64, 256, 1}),
+               "initial batch outside");
+}
+
+// Property sweep: under arbitrary update sequences the batch stays inside
+// [min, max] and remains a quantum multiple.
+struct AdaptiveSweepCase {
+  double alpha;
+  Index quantum;
+  Index min;
+  Index max;
+  std::uint64_t seed;
+};
+
+class AdaptiveProperty : public ::testing::TestWithParam<AdaptiveSweepCase> {};
+
+TEST_P(AdaptiveProperty, BatchAlwaysWithinLimitsAndQuantized) {
+  const auto& p = GetParam();
+  AdaptiveController c(p.alpha);
+  c.register_worker(0, {p.min, p.min, p.max, p.quantum});
+  c.register_worker(1, {p.max, p.min, p.max, p.quantum});
+  hetsgd::Rng rng(p.seed);
+  std::uint64_t u0 = 0, u1 = 0;
+  for (int step = 0; step < 500; ++step) {
+    if (rng.bernoulli(0.5)) {
+      u0 += rng.next_below(20);
+      const Index b = c.on_request(0, u0);
+      ASSERT_GE(b, p.min);
+      ASSERT_LE(b, p.max);
+      ASSERT_EQ(b % p.quantum, 0);
+    } else {
+      u1 += rng.next_below(20);
+      const Index b = c.on_request(1, u1);
+      ASSERT_GE(b, p.min);
+      ASSERT_LE(b, p.max);
+      ASSERT_EQ(b % p.quantum, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdaptiveProperty,
+    ::testing::Values(AdaptiveSweepCase{2.0, 1, 64, 8192, 1},
+                      AdaptiveSweepCase{2.0, 56, 56, 3584, 2},
+                      AdaptiveSweepCase{1.5, 8, 8, 1024, 3},
+                      AdaptiveSweepCase{3.0, 16, 16, 4096, 4},
+                      AdaptiveSweepCase{2.0, 7, 7, 7 * 100, 5}));
+
+// The headline property of Algorithm 2: with adversarial speed imbalance,
+// the gap in update counts stays bounded once batches saturate, while a
+// static assignment's gap would grow without the controller reacting.
+TEST(Adaptive, ReactsToPersistentImbalance) {
+  auto c = two_workers();
+  // GPU produces updates 100x faster.
+  std::uint64_t cpu_u = 0, gpu_u = 0;
+  Index last_gpu_batch = 8192;
+  for (int round = 0; round < 50; ++round) {
+    gpu_u += 100;
+    last_gpu_batch = c.on_request(1, gpu_u);
+    cpu_u += 1;
+    c.on_request(0, cpu_u);
+  }
+  // The controller must have pushed the two workers toward each other:
+  // CPU shrinks to (stays at) its minimum, GPU grows to its maximum.
+  EXPECT_EQ(c.batch(0), 56);
+  EXPECT_EQ(last_gpu_batch, 8192);
+}
+
+}  // namespace
+}  // namespace hetsgd::core

@@ -1,0 +1,267 @@
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "concurrent/blocking_queue.hpp"
+#include "concurrent/mpsc_queue.hpp"
+#include "concurrent/sharded_counter.hpp"
+#include "concurrent/spin_barrier.hpp"
+#include "concurrent/spsc_ring.hpp"
+#include "concurrent/thread_pool.hpp"
+
+namespace hetsgd::concurrent {
+namespace {
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BlockingQueue, TryPopEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, CloseDrainsThenEnds) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, CrossThreadDelivery) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) q.push(i);
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, expected++);
+  }
+  EXPECT_EQ(expected, 1000);
+  producer.join();
+}
+
+TEST(MpscQueue, SingleThreadFifo) {
+  MpscQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpscQueue, CloseStopsProducersAfterDrain) {
+  MpscQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpscQueue, MultiProducerCountIntegrity) {
+  MpscQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen;
+  seen.reserve(kProducers * kPerProducer);
+  std::thread consumer([&] {
+    for (int i = 0; i < kProducers * kPerProducer; ++i) {
+      auto v = q.pop();
+      ASSERT_TRUE(v.has_value());
+      seen.push_back(*v);
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  // Every value delivered exactly once.
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)], i);
+  }
+  // Per-producer FIFO is implied by the full-order check above only per
+  // value; verify explicitly on a fresh queue.
+}
+
+TEST(MpscQueue, PerProducerOrderPreserved) {
+  MpscQueue<std::pair<int, int>> q;
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 3000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push({p, i}));
+      }
+    });
+  }
+  std::vector<int> next(kProducers, 0);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(v->second, next[static_cast<std::size_t>(v->first)]++);
+  }
+  for (auto& t : producers) t.join();
+}
+
+TEST(SpscRing, PushPop) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_EQ(ring.try_pop().value(), 1);
+  EXPECT_EQ(ring.try_pop().value(), 2);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, FullRejects) {
+  SpscRing<int> ring(2);
+  EXPECT_EQ(ring.capacity(), 2u);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));
+  ring.try_pop();
+  EXPECT_TRUE(ring.try_push(3));
+}
+
+TEST(SpscRing, CapacityRoundsToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRing, CrossThreadStream) {
+  SpscRing<int> ring(64);
+  constexpr int kCount = 100000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount;) {
+      if (ring.try_push(i)) ++i;
+    }
+  });
+  int expected = 0;
+  while (expected < kCount) {
+    if (auto v = ring.try_pop()) {
+      ASSERT_EQ(*v, expected++);
+    }
+  }
+  producer.join();
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 3u);  // +1 caller lane
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunOnAllUsesDistinctLanes) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> lane_hits(3);
+  pool.run_on_all([&](std::size_t lane) {
+    ASSERT_LT(lane, 3u);
+    lane_hits[lane].fetch_add(1);
+  });
+  for (auto& h : lane_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SequentialJobsDoNotInterfere) {
+  ThreadPool pool(2);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.parallel_for(10, [&](std::size_t b, std::size_t e, std::size_t) {
+      total.fetch_add(static_cast<long>(e - b));
+    });
+  }
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  int x = 0;
+  pool.parallel_for(5, [&](std::size_t b, std::size_t e, std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    x += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(x, 5);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr std::size_t kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < 50; ++phase) {
+        phase_counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, all arrivals of this phase are visible.
+        if (phase_counter.load() < static_cast<int>(kThreads) * (phase + 1)) {
+          ok = false;
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(phase_counter.load(), static_cast<int>(kThreads) * 50);
+}
+
+TEST(ShardedCounter, SumsAcrossShards) {
+  ShardedCounter counter(8);
+  EXPECT_EQ(counter.shard_count(), 8u);
+  for (std::size_t s = 0; s < 8; ++s) counter.add(s, s + 1);
+  EXPECT_EQ(counter.total(), 36u);
+  counter.reset();
+  EXPECT_EQ(counter.total(), 0u);
+}
+
+TEST(ShardedCounter, ConcurrentIncrements) {
+  ShardedCounter counter(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter, t] {
+      for (int i = 0; i < 100000; ++i) {
+        counter.add(static_cast<std::size_t>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.total(), 400000u);
+}
+
+}  // namespace
+}  // namespace hetsgd::concurrent

@@ -1,0 +1,88 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsgd::core {
+namespace {
+
+TEST(Algorithm, NamesRoundTrip) {
+  for (Algorithm a :
+       {Algorithm::kHogwildCpu, Algorithm::kMinibatchGpu,
+        Algorithm::kCpuGpuHogbatch, Algorithm::kAdaptiveHogbatch,
+        Algorithm::kTensorFlow}) {
+    Algorithm parsed;
+    ASSERT_TRUE(parse_algorithm(algorithm_name(a), parsed))
+        << algorithm_name(a);
+    EXPECT_EQ(parsed, a);
+  }
+}
+
+TEST(Algorithm, ShortAliases) {
+  Algorithm a;
+  EXPECT_TRUE(parse_algorithm("cpu", a));
+  EXPECT_EQ(a, Algorithm::kHogwildCpu);
+  EXPECT_TRUE(parse_algorithm("gpu", a));
+  EXPECT_EQ(a, Algorithm::kMinibatchGpu);
+  EXPECT_TRUE(parse_algorithm("tf", a));
+  EXPECT_EQ(a, Algorithm::kTensorFlow);
+  EXPECT_TRUE(parse_algorithm("cpugpu", a));
+  EXPECT_EQ(a, Algorithm::kCpuGpuHogbatch);
+  EXPECT_FALSE(parse_algorithm("sgd", a));
+}
+
+TEST(Algorithm, DeviceUsage) {
+  EXPECT_TRUE(algorithm_uses_cpu(Algorithm::kHogwildCpu));
+  EXPECT_FALSE(algorithm_uses_gpu(Algorithm::kHogwildCpu));
+  EXPECT_FALSE(algorithm_uses_cpu(Algorithm::kMinibatchGpu));
+  EXPECT_TRUE(algorithm_uses_gpu(Algorithm::kMinibatchGpu));
+  EXPECT_TRUE(algorithm_uses_cpu(Algorithm::kCpuGpuHogbatch));
+  EXPECT_TRUE(algorithm_uses_gpu(Algorithm::kCpuGpuHogbatch));
+  EXPECT_TRUE(algorithm_uses_cpu(Algorithm::kAdaptiveHogbatch));
+  EXPECT_TRUE(algorithm_uses_gpu(Algorithm::kAdaptiveHogbatch));
+  EXPECT_FALSE(algorithm_uses_cpu(Algorithm::kTensorFlow));
+  EXPECT_TRUE(algorithm_uses_gpu(Algorithm::kTensorFlow));
+}
+
+TEST(TrainingConfig, EffectiveLrScalesLinearly) {
+  TrainingConfig c;
+  c.learning_rate = 1e-3;
+  c.scale_lr_with_batch = true;
+  c.max_effective_lr = 1e9;  // no cap
+  EXPECT_DOUBLE_EQ(c.effective_lr(1), 1e-3);
+  EXPECT_DOUBLE_EQ(c.effective_lr(100), 0.1);
+}
+
+TEST(TrainingConfig, EffectiveLrCap) {
+  TrainingConfig c;
+  c.learning_rate = 1e-3;
+  c.max_effective_lr = 0.5;
+  EXPECT_DOUBLE_EQ(c.effective_lr(10000), 0.5);
+}
+
+TEST(TrainingConfig, EffectiveLrWithoutScaling) {
+  TrainingConfig c;
+  c.learning_rate = 1e-3;
+  c.scale_lr_with_batch = false;
+  EXPECT_DOUBLE_EQ(c.effective_lr(8192), 1e-3);
+}
+
+TEST(TrainingConfig, EffectiveLrZeroBatchTreatedAsOne) {
+  TrainingConfig c;
+  c.learning_rate = 1e-3;
+  EXPECT_DOUBLE_EQ(c.effective_lr(0), 1e-3);
+}
+
+TEST(TrainingConfig, DefaultsMatchPaper) {
+  TrainingConfig c;
+  EXPECT_DOUBLE_EQ(c.alpha, 2.0);  // "set by default to 2"
+  EXPECT_DOUBLE_EQ(c.beta, 1.0);   // "the default value determined empirically"
+  EXPECT_EQ(c.cpu.sim_lanes, 56);  // 56 of 64 threads (§VII-A)
+  EXPECT_EQ(c.cpu.host_threads, 64);
+  EXPECT_EQ(c.gpu.batch, 8192);    // batch range 64-8192
+  EXPECT_EQ(c.gpu.min_batch, 64);
+  EXPECT_EQ(c.cpu.examples_per_thread, 1);      // CPU starts at Hogwild
+  EXPECT_EQ(c.cpu.max_examples_per_thread, 64); // 1-64 per thread
+}
+
+}  // namespace
+}  // namespace hetsgd::core

@@ -1,0 +1,151 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/csv_writer.hpp"
+#include "common/logging.hpp"
+
+namespace hetsgd {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "hetsgd_csv_test.csv")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b", "c"});
+    csv.row(std::vector<double>{1.0, 2.5, -3.0});
+    csv.row(std::vector<std::string>{"x", "y", "z"});
+    csv.flush();
+  }
+  EXPECT_EQ(read_file(path_), "a,b,c\n1,2.5,-3\nx,y,z\n");
+}
+
+TEST_F(CsvTest, DoublesRoundTripPrecision) {
+  {
+    CsvWriter csv(path_, {"v"});
+    csv.row(std::vector<double>{0.1234567891});
+    csv.flush();
+  }
+  std::string content = read_file(path_);
+  EXPECT_NE(content.find("0.1234567891"), std::string::npos);
+}
+
+TEST_F(CsvTest, PathAccessor) {
+  CsvWriter csv(path_, {"v"});
+  EXPECT_EQ(csv.path(), path_);
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  std::vector<char*> make_argv(std::vector<std::string>& args) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>("prog"));
+    for (auto& a : args) argv.push_back(a.data());
+    return argv;
+  }
+};
+
+TEST_F(CliTest, ParsesAllTypes) {
+  bool flag = false;
+  std::int64_t count = 5;
+  double rate = 0.5;
+  std::string name = "default";
+  CliParser cli("prog", "test");
+  cli.add_flag("verbose", &flag, "flag");
+  cli.add_int("count", &count, "int");
+  cli.add_double("rate", &rate, "double");
+  cli.add_string("name", &name, "string");
+
+  std::vector<std::string> args{"--verbose", "--count", "42",
+                                "--rate=2.5", "--name", "hello"};
+  auto argv = make_argv(args);
+  EXPECT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(count, 42);
+  EXPECT_DOUBLE_EQ(rate, 2.5);
+  EXPECT_EQ(name, "hello");
+}
+
+TEST_F(CliTest, DefaultsWhenAbsent) {
+  std::int64_t count = 7;
+  CliParser cli("prog", "test");
+  cli.add_int("count", &count, "int");
+  std::vector<std::string> args{};
+  auto argv = make_argv(args);
+  EXPECT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(count, 7);
+}
+
+TEST_F(CliTest, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  std::vector<std::string> args{"--help"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST_F(CliTest, UsageListsFlags) {
+  std::int64_t count = 7;
+  CliParser cli("prog", "my description");
+  cli.add_int("count", &count, "number of things");
+  std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("number of things"), std::string::npos);
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownFlagDies) {
+  CliParser cli("prog", "test");
+  std::vector<std::string> args{"--nope"};
+  auto argv = make_argv(args);
+  EXPECT_EXIT(cli.parse(static_cast<int>(argv.size()), argv.data()),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST_F(CliTest, BadIntegerDies) {
+  std::int64_t count = 0;
+  CliParser cli("prog", "test");
+  cli.add_int("count", &count, "int");
+  std::vector<std::string> args{"--count", "abc"};
+  auto argv = make_argv(args);
+  EXPECT_EXIT(cli.parse(static_cast<int>(argv.size()), argv.data()),
+              ::testing::ExitedWithCode(2), "invalid integer");
+}
+
+TEST(Logging, ParseLevels) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(parse_log_level("debug", level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("error", level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(parse_log_level("bogus", level));
+  EXPECT_EQ(level, LogLevel::kError);  // unchanged on failure
+}
+
+TEST(Logging, SetAndGet) {
+  LogLevel old = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(old);
+}
+
+}  // namespace
+}  // namespace hetsgd

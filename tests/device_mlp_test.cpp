@@ -1,0 +1,164 @@
+#include "nn/device_mlp.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+#include "tensor/ops.hpp"
+
+namespace hetsgd::nn {
+namespace {
+
+using tensor::Index;
+using tensor::Matrix;
+
+MlpConfig test_config() {
+  MlpConfig c;
+  c.input_dim = 8;
+  c.num_classes = 4;
+  c.hidden_layers = 2;
+  c.hidden_units = 6;
+  return c;
+}
+
+struct Fixture {
+  MlpConfig config = test_config();
+  gpusim::Device device{gpusim::v100_spec()};
+  Rng rng{42};
+  Model model{config, rng};
+  Matrix x;
+  std::vector<std::int32_t> y;
+
+  explicit Fixture(Index batch) : x(batch, config.input_dim) {
+    tensor::fill_normal(x.view(), rng, 0, 1);
+    y.resize(static_cast<std::size_t>(batch));
+    for (auto& label : y) {
+      label = static_cast<std::int32_t>(rng.next_below(4));
+    }
+  }
+};
+
+TEST(DeviceMlp, GradientMatchesHostExactly) {
+  Fixture f(16);
+  DeviceMlp dmlp(f.device, f.config, 16);
+  dmlp.upload_model(f.model, 0.0);
+  double done = 0.0;
+  const double device_loss = dmlp.compute_gradient(f.x.view(), f.y, 0.0, &done);
+  Gradient device_grad = make_zero_gradient(f.model);
+  dmlp.download_gradient(device_grad, done);
+
+  Workspace ws;
+  Gradient host_grad = make_zero_gradient(f.model);
+  const double host_loss =
+      compute_gradient(f.model, f.x.view(), f.y, ws, host_grad);
+
+  // Same math on both paths: results are bit-identical.
+  EXPECT_DOUBLE_EQ(device_loss, host_loss);
+  EXPECT_EQ(device_grad.max_abs_diff(host_grad), 0.0);
+}
+
+TEST(DeviceMlp, SmallerBatchThanMaxWorks) {
+  Fixture f(5);
+  DeviceMlp dmlp(f.device, f.config, 32);
+  dmlp.upload_model(f.model, 0.0);
+  double done = 0.0;
+  dmlp.compute_gradient(f.x.view(), f.y, 0.0, &done);
+  Gradient device_grad = make_zero_gradient(f.model);
+  dmlp.download_gradient(device_grad, done);
+
+  Workspace ws;
+  Gradient host_grad = make_zero_gradient(f.model);
+  compute_gradient(f.model, f.x.view(), f.y, ws, host_grad);
+  EXPECT_EQ(device_grad.max_abs_diff(host_grad), 0.0);
+}
+
+TEST(DeviceMlp, ApplyGradientOnDeviceMatchesHostSgd) {
+  Fixture f(8);
+  DeviceMlp dmlp(f.device, f.config, 8);
+  dmlp.upload_model(f.model, 0.0);
+  double done = 0.0;
+  dmlp.compute_gradient(f.x.view(), f.y, 0.0, &done);
+  dmlp.apply_gradient_on_device(0.1, done);
+  Model replica = f.model;
+  dmlp.download_model(replica, done);
+
+  Workspace ws;
+  Gradient host_grad = make_zero_gradient(f.model);
+  compute_gradient(f.model, f.x.view(), f.y, ws, host_grad);
+  Model expected = f.model;
+  sgd_step(expected, host_grad, 0.1);
+  EXPECT_LT(replica.max_abs_diff(expected), 1e-15);
+}
+
+TEST(DeviceMlp, UploadDownloadRoundTrip) {
+  Fixture f(4);
+  DeviceMlp dmlp(f.device, f.config, 4);
+  dmlp.upload_model(f.model, 0.0);
+  Model back(f.config, f.rng);  // different values
+  dmlp.download_model(back, 0.0);
+  EXPECT_EQ(back.max_abs_diff(f.model), 0.0);
+}
+
+TEST(DeviceMlp, VirtualTimeAdvances) {
+  Fixture f(8);
+  DeviceMlp dmlp(f.device, f.config, 8);
+  const double t0 = dmlp.upload_model(f.model, 0.0);
+  EXPECT_GT(t0, 0.0);
+  double done = 0.0;
+  dmlp.compute_gradient(f.x.view(), f.y, t0, &done);
+  EXPECT_GT(done, t0);
+  const double t1 = dmlp.apply_gradient_on_device(0.1, done);
+  EXPECT_GT(t1, done);
+}
+
+TEST(DeviceMlp, DeviceBytesAccountedInAllocator) {
+  Fixture f(4);
+  const std::uint64_t before = f.device.allocator().in_use();
+  auto dmlp = std::make_unique<DeviceMlp>(f.device, f.config, 64);
+  EXPECT_EQ(f.device.allocator().in_use() - before, dmlp->device_bytes());
+  dmlp.reset();
+  EXPECT_EQ(f.device.allocator().in_use(), before);
+}
+
+TEST(DeviceMlp, OversizedModelTriggersDeviceOom) {
+  gpusim::DeviceSpec tiny = gpusim::v100_spec();
+  tiny.memory_capacity = 1 << 16;  // 64 KiB
+  gpusim::Device device(tiny);
+  MlpConfig big = test_config();
+  big.hidden_units = 256;
+  EXPECT_DEATH(DeviceMlp(device, big, 1024), "out of memory");
+}
+
+TEST(DeviceMlp, BatchBeyondMaxDies) {
+  Fixture f(16);
+  DeviceMlp dmlp(f.device, f.config, 8);
+  dmlp.upload_model(f.model, 0.0);
+  double done = 0.0;
+  EXPECT_DEATH(dmlp.compute_gradient(f.x.view(), f.y, 0.0, &done),
+               "max_batch");
+}
+
+TEST(DeviceMlp, TrainingOnDeviceConvergesLikeHost) {
+  Fixture f(32);
+  DeviceMlp dmlp(f.device, f.config, 32);
+  Model host_model = f.model;
+  Workspace ws;
+  Gradient host_grad = make_zero_gradient(host_model);
+
+  double clock = dmlp.upload_model(f.model, 0.0);
+  for (int step = 0; step < 20; ++step) {
+    double done = clock;
+    dmlp.compute_gradient(f.x.view(), f.y, clock, &done);
+    clock = dmlp.apply_gradient_on_device(0.3, done);
+    compute_gradient(host_model, f.x.view(), f.y, ws, host_grad);
+    sgd_step(host_model, host_grad, 0.3);
+  }
+  Model final_device = f.model;
+  dmlp.download_model(final_device, clock);
+  EXPECT_LT(final_device.max_abs_diff(host_model), 1e-12);
+}
+
+}  // namespace
+}  // namespace hetsgd::nn

@@ -1,0 +1,205 @@
+#include "gpusim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gpusim/device_memory.hpp"
+#include "tensor/ops.hpp"
+
+namespace hetsgd::gpusim {
+namespace {
+
+DeviceSpec tiny_gpu() {
+  DeviceSpec s = v100_spec();
+  s.memory_capacity = 1 << 20;  // 1 MiB for OOM tests
+  return s;
+}
+
+TEST(DeviceAllocator, TracksUsage) {
+  DeviceAllocator alloc(1000);
+  alloc.reserve(300);
+  alloc.reserve(200);
+  EXPECT_EQ(alloc.in_use(), 500u);
+  EXPECT_EQ(alloc.peak_usage(), 500u);
+  EXPECT_EQ(alloc.allocation_count(), 2u);
+  alloc.release(300);
+  EXPECT_EQ(alloc.in_use(), 200u);
+  EXPECT_EQ(alloc.peak_usage(), 500u);  // peak persists
+}
+
+TEST(DeviceAllocator, WouldFit) {
+  DeviceAllocator alloc(100);
+  EXPECT_TRUE(alloc.would_fit(100));
+  alloc.reserve(60);
+  EXPECT_TRUE(alloc.would_fit(40));
+  EXPECT_FALSE(alloc.would_fit(41));
+}
+
+TEST(DeviceAllocator, OomDies) {
+  DeviceAllocator alloc(100);
+  EXPECT_DEATH(alloc.reserve(101), "out of memory");
+}
+
+TEST(DeviceAllocator, OverReleaseDies) {
+  DeviceAllocator alloc(100);
+  alloc.reserve(10);
+  EXPECT_DEATH(alloc.release(11), "more device memory than in use");
+}
+
+TEST(DeviceMatrix, RaiiReleasesOnDestruction) {
+  DeviceAllocator alloc(1 << 20);
+  {
+    DeviceMatrix m(&alloc, 10, 10);
+    EXPECT_EQ(alloc.in_use(), m.bytes());
+    EXPECT_TRUE(m.allocated());
+  }
+  EXPECT_EQ(alloc.in_use(), 0u);
+}
+
+TEST(DeviceMatrix, MoveTransfersOwnership) {
+  DeviceAllocator alloc(1 << 20);
+  DeviceMatrix a(&alloc, 4, 4);
+  const std::uint64_t bytes = a.bytes();
+  DeviceMatrix b(std::move(a));
+  EXPECT_EQ(alloc.in_use(), bytes);
+  EXPECT_FALSE(a.allocated());
+  EXPECT_TRUE(b.allocated());
+  DeviceMatrix c;
+  c = std::move(b);
+  EXPECT_EQ(alloc.in_use(), bytes);
+  EXPECT_EQ(c.rows(), 4);
+}
+
+TEST(Device, AllocOnDevice) {
+  Device dev(tiny_gpu());
+  DeviceMatrix m = dev.alloc(8, 8);
+  EXPECT_EQ(dev.allocator().in_use(), m.bytes());
+}
+
+TEST(Device, OomOnHugeAlloc) {
+  Device dev(tiny_gpu());
+  EXPECT_DEATH(dev.alloc(1024, 1024), "out of memory");
+}
+
+TEST(Device, H2DandD2HRoundTrip) {
+  Device dev(v100_spec());
+  Rng rng(3);
+  tensor::Matrix host(13, 7);
+  tensor::fill_normal(host.view(), rng, 0, 1);
+  DeviceMatrix d = dev.alloc(13, 7);
+  double t = dev.copy_to_device(host.view(), d, dev.default_stream(), 0.0);
+  EXPECT_GT(t, 0.0);  // transfer charged virtual time
+  tensor::Matrix back(13, 7);
+  dev.copy_to_host(d, back.view(), dev.default_stream(), t);
+  EXPECT_EQ(tensor::max_abs_diff(host.view(), back.view()), 0.0);
+  EXPECT_EQ(dev.transfer_count(), 2u);
+  EXPECT_EQ(dev.bytes_transferred(), 2 * d.bytes());
+}
+
+TEST(Device, GemmKernelMatchesHost) {
+  Device dev(v100_spec());
+  Rng rng(5);
+  tensor::Matrix a(9, 6), b(6, 11), c_host(9, 11);
+  tensor::fill_normal(a.view(), rng, 0, 1);
+  tensor::fill_normal(b.view(), rng, 0, 1);
+  tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, 1, a.view(), b.view(),
+               0, c_host.view());
+
+  DeviceMatrix da = dev.alloc(9, 6), db = dev.alloc(6, 11),
+               dc = dev.alloc(9, 11);
+  auto& s = dev.default_stream();
+  double t = dev.copy_to_device(a.view(), da, s, 0.0);
+  t = dev.copy_to_device(b.view(), db, s, t);
+  t = dev.gemm(tensor::Trans::kNo, tensor::Trans::kNo, 1, da, db, 0, dc, s, t);
+  tensor::Matrix c_back(9, 11);
+  dev.copy_to_host(dc, c_back.view(), s, t);
+  EXPECT_LT(tensor::max_abs_diff(c_host.view(), c_back.view()), 1e-12);
+  EXPECT_EQ(dev.kernel_count(), 1u);
+}
+
+TEST(Device, AxpyScaleBiasKernels) {
+  Device dev(v100_spec());
+  auto& s = dev.default_stream();
+  DeviceMatrix x = dev.alloc(2, 3), y = dev.alloc(2, 3);
+  tensor::Matrix hx{{1, 2, 3}, {4, 5, 6}};
+  tensor::Matrix hy{{10, 10, 10}, {10, 10, 10}};
+  dev.copy_to_device(hx.view(), x, s, 0.0);
+  dev.copy_to_device(hy.view(), y, s, 0.0);
+  dev.axpy(2, x, y, s, 0.0);
+  dev.scale(0.5, y, s, 0.0);
+  tensor::Matrix out(2, 3);
+  dev.copy_to_host(y, out.view(), s, 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 0), 6.0);   // (10 + 2*1) / 2
+  EXPECT_DOUBLE_EQ(out(1, 2), 11.0);  // (10 + 2*6) / 2
+
+  DeviceMatrix bias = dev.alloc(1, 3);
+  tensor::Matrix hb{{1, 2, 3}};
+  dev.copy_to_device(hb.view(), bias, s, 0.0);
+  dev.add_row_bias(bias, y, s, 0.0);
+  dev.copy_to_host(y, out.view(), s, 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 0), 7.0);
+}
+
+TEST(Device, SoftmaxAndColSumsKernels) {
+  Device dev(v100_spec());
+  auto& s = dev.default_stream();
+  DeviceMatrix m = dev.alloc(2, 2);
+  tensor::Matrix h{{0, 0}, {1, 3}};
+  dev.copy_to_device(h.view(), m, s, 0.0);
+  dev.softmax_rows(m, s, 0.0);
+  tensor::Matrix out(2, 2);
+  dev.copy_to_host(m, out.view(), s, 0.0);
+  EXPECT_NEAR(out(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(out(1, 0) + out(1, 1), 1.0, 1e-12);
+
+  DeviceMatrix sums = dev.alloc(1, 2);
+  dev.col_sums(m, sums, s, 0.0);
+  tensor::Matrix hs(1, 2);
+  dev.copy_to_host(sums, hs.view(), s, 0.0);
+  EXPECT_NEAR(hs(0, 0) + hs(0, 1), 2.0, 1e-12);
+}
+
+TEST(Device, ElementwiseTemplate) {
+  Device dev(v100_spec());
+  auto& s = dev.default_stream();
+  DeviceMatrix m = dev.alloc(1, 4);
+  tensor::Matrix h{{1, 2, 3, 4}};
+  dev.copy_to_device(h.view(), m, s, 0.0);
+  dev.elementwise(m, [](tensor::Scalar v) { return v * v; }, s, 0.0);
+  tensor::Matrix out(1, 4);
+  dev.copy_to_host(m, out.view(), s, 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 3), 16.0);
+}
+
+TEST(Device, StreamsAreIndependent) {
+  Device dev(v100_spec());
+  Stream& s1 = dev.default_stream();
+  Stream& s2 = dev.create_stream();
+  DeviceMatrix a = dev.alloc(64, 64), b = dev.alloc(64, 64),
+               c = dev.alloc(64, 64);
+  dev.gemm(tensor::Trans::kNo, tensor::Trans::kNo, 1, a, b, 0, c, s1, 0.0);
+  EXPECT_GT(s1.completion_time(), 0.0);
+  EXPECT_EQ(s2.completion_time(), 0.0);
+  double t = dev.synchronize_all(0.0);
+  EXPECT_DOUBLE_EQ(t, s1.completion_time());
+}
+
+TEST(Device, SynchronizeReturnsMaxOfIssueAndStream) {
+  Device dev(v100_spec());
+  auto& s = dev.default_stream();
+  EXPECT_DOUBLE_EQ(dev.synchronize(s, 5.0), 5.0);
+  DeviceMatrix a = dev.alloc(4, 4);
+  dev.scale(2, a, s, 10.0);
+  EXPECT_GT(dev.synchronize(s, 5.0), 10.0);
+}
+
+TEST(Device, CopyShapeMismatchDies) {
+  Device dev(v100_spec());
+  tensor::Matrix host(2, 3);
+  DeviceMatrix d = dev.alloc(3, 2);
+  EXPECT_DEATH(dev.copy_to_device(host.view(), d, dev.default_stream(), 0.0),
+               "shape mismatch");
+}
+
+}  // namespace
+}  // namespace hetsgd::gpusim

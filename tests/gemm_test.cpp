@@ -1,0 +1,150 @@
+#include "tensor/gemm.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace hetsgd::tensor {
+namespace {
+
+Matrix random_matrix(Index rows, Index cols, Rng& rng) {
+  Matrix m(rows, cols);
+  fill_normal(m.view(), rng, 0, 1);
+  return m;
+}
+
+TEST(GemmNaive, TinyKnownProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c(2, 2);
+  gemm_naive(Trans::kNo, Trans::kNo, 1, a.view(), b.view(), 0, c.view());
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(0, 1), 22);
+  EXPECT_EQ(c(1, 0), 43);
+  EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(GemmNaive, TransposeA) {
+  Matrix a{{1, 3}, {2, 4}};  // a^T = [[1,2],[3,4]]
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c(2, 2);
+  gemm_naive(Trans::kYes, Trans::kNo, 1, a.view(), b.view(), 0, c.view());
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(GemmNaive, AlphaBeta) {
+  Matrix a{{1, 0}, {0, 1}};
+  Matrix b{{2, 0}, {0, 2}};
+  Matrix c{{1, 1}, {1, 1}};
+  gemm_naive(Trans::kNo, Trans::kNo, 3, a.view(), b.view(), 10, c.view());
+  EXPECT_EQ(c(0, 0), 16);  // 3*2 + 10*1
+  EXPECT_EQ(c(0, 1), 10);
+}
+
+struct GemmCase {
+  Index m, n, k;
+  Trans ta, tb;
+  Scalar alpha, beta;
+};
+
+class GemmMatchesNaive : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmMatchesNaive, AllShapes) {
+  const GemmCase& p = GetParam();
+  Rng rng(p.m * 1000003 + p.n * 131 + p.k);
+  Matrix a = p.ta == Trans::kNo ? random_matrix(p.m, p.k, rng)
+                                : random_matrix(p.k, p.m, rng);
+  Matrix b = p.tb == Trans::kNo ? random_matrix(p.k, p.n, rng)
+                                : random_matrix(p.n, p.k, rng);
+  Matrix c_ref = random_matrix(p.m, p.n, rng);
+  Matrix c_fast = c_ref;
+  gemm_naive(p.ta, p.tb, p.alpha, a.view(), b.view(), p.beta, c_ref.view());
+  gemm(p.ta, p.tb, p.alpha, a.view(), b.view(), p.beta, c_fast.view());
+  EXPECT_LT(max_abs_diff(c_ref.view(), c_fast.view()),
+            1e-10 * static_cast<Scalar>(p.k + 1));
+}
+
+std::vector<GemmCase> gemm_cases() {
+  std::vector<GemmCase> cases;
+  const Trans kT[] = {Trans::kNo, Trans::kYes};
+  // Shapes straddling the blocking boundaries (64/128) plus degenerate
+  // 1-row/1-col shapes (matrix-vector, the Hogwild fast path).
+  const std::tuple<Index, Index, Index> shapes[] = {
+      {1, 1, 1},   {1, 7, 5},    {5, 1, 3},    {3, 4, 1},   {17, 19, 23},
+      {64, 64, 64}, {65, 63, 130}, {128, 32, 200}, {200, 130, 64},
+  };
+  for (auto [m, n, k] : shapes) {
+    for (Trans ta : kT) {
+      for (Trans tb : kT) {
+        cases.push_back({m, n, k, ta, tb, Scalar{1}, Scalar{0}});
+      }
+    }
+  }
+  // Alpha/beta variants on one mid-size shape.
+  cases.push_back({70, 40, 90, Trans::kNo, Trans::kNo, Scalar{2.5},
+                   Scalar{-0.5}});
+  cases.push_back({70, 40, 90, Trans::kYes, Trans::kYes, Scalar{-1},
+                   Scalar{1}});
+  cases.push_back({70, 40, 90, Trans::kNo, Trans::kYes, Scalar{0.1},
+                   Scalar{3}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GemmMatchesNaive,
+                         ::testing::ValuesIn(gemm_cases()));
+
+TEST(Gemm, MatmulWrappers) {
+  Rng rng(77);
+  const Index b = 13, in = 9, out = 11;
+  Matrix x = random_matrix(b, in, rng);
+  Matrix w = random_matrix(out, in, rng);
+  Matrix y(b, out);
+  matmul_nt(x.view(), w.view(), y.view());
+  Matrix y_ref(b, out);
+  gemm_naive(Trans::kNo, Trans::kYes, 1, x.view(), w.view(), 0, y_ref.view());
+  EXPECT_LT(max_abs_diff(y.view(), y_ref.view()), 1e-12);
+
+  Matrix d = random_matrix(b, out, rng);
+  Matrix gw(out, in);
+  matmul_tn(d.view(), x.view(), gw.view());
+  Matrix gw_ref(out, in);
+  gemm_naive(Trans::kYes, Trans::kNo, 1, d.view(), x.view(), 0, gw_ref.view());
+  EXPECT_LT(max_abs_diff(gw.view(), gw_ref.view()), 1e-12);
+
+  Matrix dx(b, in);
+  matmul_nn(d.view(), w.view(), dx.view());
+  Matrix dx_ref(b, in);
+  gemm_naive(Trans::kNo, Trans::kNo, 1, d.view(), w.view(), 0, dx_ref.view());
+  EXPECT_LT(max_abs_diff(dx.view(), dx_ref.view()), 1e-12);
+}
+
+TEST(Gemm, ShapeMismatchDies) {
+  Matrix a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_DEATH(gemm(Trans::kNo, Trans::kNo, 1, a.view(), b.view(), 0, c.view()),
+               "inner dimensions");
+  Matrix b2(3, 5);
+  EXPECT_DEATH(gemm(Trans::kNo, Trans::kNo, 1, a.view(), b2.view(), 0,
+                    c.view()),
+               "output shape");
+}
+
+TEST(Gemm, FlopsFormula) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(gemm_flops(1, 1, 1), 2.0);
+}
+
+TEST(Gemm, CheckShapesReturnsDims) {
+  Matrix a(5, 7), b(9, 7), c(5, 9);
+  GemmDims d = check_gemm_shapes(Trans::kNo, Trans::kYes, a.view(), b.view(),
+                                 c.view());
+  EXPECT_EQ(d.m, 5);
+  EXPECT_EQ(d.n, 9);
+  EXPECT_EQ(d.k, 7);
+}
+
+}  // namespace
+}  // namespace hetsgd::tensor

@@ -1,0 +1,131 @@
+#include "data/libsvm_io.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hetsgd::data {
+namespace {
+
+TEST(Libsvm, ParsesBasicFile) {
+  const std::string content =
+      "+1 1:0.5 3:1.5\n"
+      "-1 2:2.0\n";
+  Dataset d = read_libsvm_string(content, {});
+  EXPECT_EQ(d.example_count(), 2);
+  EXPECT_EQ(d.dim(), 3);
+  EXPECT_EQ(d.num_classes(), 2);
+  // Sorted label mapping: -1 -> 0, +1 -> 1.
+  EXPECT_EQ(d.labels()[0], 1);
+  EXPECT_EQ(d.labels()[1], 0);
+  EXPECT_DOUBLE_EQ(d.features()(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(d.features()(0, 1), 0.0);  // densified zero
+  EXPECT_DOUBLE_EQ(d.features()(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(d.features()(1, 1), 2.0);
+}
+
+TEST(Libsvm, SkipsBlankAndCommentLines) {
+  const std::string content =
+      "# a comment\n"
+      "\n"
+      "1 1:1\n"
+      "   \n"
+      "2 1:2\n";
+  Dataset d = read_libsvm_string(content, {});
+  EXPECT_EQ(d.example_count(), 2);
+}
+
+TEST(Libsvm, MulticlassLabelsRemapInSortedOrder) {
+  const std::string content = "3 1:1\n1 1:1\n7 1:1\n1 1:1\n";
+  Dataset d = read_libsvm_string(content, {});
+  EXPECT_EQ(d.num_classes(), 3);
+  EXPECT_EQ(d.labels()[0], 1);  // 3 -> 1
+  EXPECT_EQ(d.labels()[1], 0);  // 1 -> 0
+  EXPECT_EQ(d.labels()[2], 2);  // 7 -> 2
+}
+
+TEST(Libsvm, ZeroBasedLabelsPreserved) {
+  const std::string content = "0 1:1\n1 1:1\n2 1:1\n";
+  Dataset d = read_libsvm_string(content, {});
+  EXPECT_EQ(d.labels()[0], 0);
+  EXPECT_EQ(d.labels()[1], 1);
+  EXPECT_EQ(d.labels()[2], 2);
+}
+
+TEST(Libsvm, DimOverride) {
+  LibsvmReadOptions options;
+  options.dim = 10;
+  Dataset d = read_libsvm_string("1 2:1\n", options);
+  EXPECT_EQ(d.dim(), 10);
+}
+
+TEST(Libsvm, DimOverrideTooSmallDies) {
+  LibsvmReadOptions options;
+  options.dim = 1;
+  EXPECT_DEATH(read_libsvm_string("1 5:1\n", options), "exceeds");
+}
+
+TEST(Libsvm, MaxExamplesCap) {
+  LibsvmReadOptions options;
+  options.max_examples = 2;
+  Dataset d = read_libsvm_string("1 1:1\n1 1:2\n1 1:3\n1 1:4\n", options);
+  EXPECT_EQ(d.example_count(), 2);
+}
+
+TEST(Libsvm, DatasetNameOption) {
+  LibsvmReadOptions options;
+  options.dataset_name = "custom";
+  Dataset d = read_libsvm_string("1 1:1\n", options);
+  EXPECT_EQ(d.name(), "custom");
+}
+
+TEST(Libsvm, MalformedPairDies) {
+  EXPECT_DEATH(read_libsvm_string("1 abc\n", {}), "malformed pair");
+}
+
+TEST(Libsvm, ZeroIndexDies) {
+  EXPECT_DEATH(read_libsvm_string("1 0:5\n", {}), "1-based");
+}
+
+TEST(Libsvm, EmptyInputDies) {
+  EXPECT_DEATH(read_libsvm_string("# nothing\n", {}), "no examples");
+}
+
+TEST(Libsvm, FloatLabelsAndValues) {
+  Dataset d = read_libsvm_string("2.0 1:1e-3 2:-4.5\n1.0 1:2\n", {});
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_DOUBLE_EQ(d.features()(0, 0), 1e-3);
+  EXPECT_DOUBLE_EQ(d.features()(0, 1), -4.5);
+}
+
+TEST(Libsvm, WriteReadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hetsgd_libsvm_rt.txt")
+          .string();
+  tensor::Matrix f{{0.5, 0.0, 1.25}, {0.0, 2.0, 0.0}};
+  Dataset original("rt", std::move(f), {1, 0}, 2);
+  write_libsvm(original, path);
+
+  LibsvmReadOptions options;
+  options.dim = 3;
+  Dataset loaded = read_libsvm(path, options);
+  EXPECT_EQ(loaded.example_count(), 2);
+  EXPECT_EQ(loaded.dim(), 3);
+  for (tensor::Index r = 0; r < 2; ++r) {
+    EXPECT_EQ(loaded.labels()[static_cast<std::size_t>(r)],
+              original.labels()[static_cast<std::size_t>(r)]);
+    for (tensor::Index c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(loaded.features()(r, c), original.features()(r, c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Libsvm, MissingFileDies) {
+  EXPECT_DEATH(read_libsvm("/nonexistent/path.libsvm", {}), "cannot open");
+}
+
+}  // namespace
+}  // namespace hetsgd::data

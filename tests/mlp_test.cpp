@@ -1,0 +1,239 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace hetsgd::nn {
+namespace {
+
+using tensor::Index;
+using tensor::Matrix;
+using tensor::Scalar;
+
+MlpConfig tiny_config(Activation act = Activation::kSigmoid) {
+  MlpConfig c;
+  c.input_dim = 6;
+  c.num_classes = 3;
+  c.hidden_layers = 2;
+  c.hidden_units = 5;
+  c.hidden_activation = act;
+  return c;
+}
+
+struct Problem {
+  Model model;
+  Matrix x;
+  std::vector<std::int32_t> y;
+};
+
+Problem make_problem(const MlpConfig& c, Index batch, std::uint64_t seed) {
+  Rng rng(seed);
+  Problem p{Model(c, rng), Matrix(batch, c.input_dim), {}};
+  tensor::fill_normal(p.x.view(), rng, 0, 1);
+  p.y.resize(static_cast<std::size_t>(batch));
+  for (auto& label : p.y) {
+    label = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(c.num_classes)));
+  }
+  return p;
+}
+
+TEST(Forward, OutputShape) {
+  MlpConfig c = tiny_config();
+  Problem p = make_problem(c, 7, 1);
+  Workspace ws;
+  forward(p.model, p.x.view(), ws);
+  EXPECT_EQ(ws.logits().rows(), 7);
+  EXPECT_EQ(ws.logits().cols(), 3);
+}
+
+TEST(Forward, HiddenActivationsInSigmoidRange) {
+  MlpConfig c = tiny_config(Activation::kSigmoid);
+  Problem p = make_problem(c, 5, 2);
+  Workspace ws;
+  forward(p.model, p.x.view(), ws);
+  const auto& hidden = ws.acts()[0];
+  for (Index r = 0; r < 5; ++r) {
+    for (Index col = 0; col < c.hidden_units; ++col) {
+      EXPECT_GT(hidden(r, col), 0.0);
+      EXPECT_LT(hidden(r, col), 1.0);
+    }
+  }
+}
+
+TEST(Forward, MatchesManualSingleLayer) {
+  MlpConfig c;
+  c.input_dim = 2;
+  c.num_classes = 2;
+  c.hidden_layers = 0;
+  Rng rng(3);
+  Model m(c, rng);
+  m.layer(0).weights = Matrix{{1, 2}, {3, 4}};
+  m.layer(0).bias = Matrix{{0.5, -0.5}};
+  Matrix x{{1, 1}};
+  Workspace ws;
+  forward(m, x.view(), ws);
+  EXPECT_DOUBLE_EQ(ws.logits()(0, 0), 3.5);   // 1+2+0.5
+  EXPECT_DOUBLE_EQ(ws.logits()(0, 1), 6.5);   // 3+4-0.5
+}
+
+class GradientCheck : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(GradientCheck, MatchesFiniteDifferences) {
+  MlpConfig c = tiny_config(GetParam());
+  Problem p = make_problem(c, 4, 5);
+  Workspace ws;
+  Gradient grad = make_zero_gradient(p.model);
+  compute_gradient(p.model, p.x.view(), p.y, ws, grad);
+
+  const double eps = 1e-6;
+  Workspace ws2;
+  // Check a spread of parameters in every layer (weights + biases).
+  for (std::size_t l = 0; l < p.model.layer_count(); ++l) {
+    auto& w = p.model.layer(l).weights;
+    for (Index idx = 0; idx < w.size();
+         idx += std::max<Index>(1, w.size() / 7)) {
+      const Scalar saved = w.data()[idx];
+      w.data()[idx] = saved + eps;
+      const double up =
+          compute_loss(p.model, p.x.view(), p.y, ws2);
+      w.data()[idx] = saved - eps;
+      const double down =
+          compute_loss(p.model, p.x.view(), p.y, ws2);
+      w.data()[idx] = saved;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grad.layer(l).weights.data()[idx], numeric, 1e-7)
+          << "layer " << l << " weight index " << idx;
+    }
+    auto& b = p.model.layer(l).bias;
+    for (Index idx = 0; idx < b.size(); ++idx) {
+      const Scalar saved = b.data()[idx];
+      b.data()[idx] = saved + eps;
+      const double up = compute_loss(p.model, p.x.view(), p.y, ws2);
+      b.data()[idx] = saved - eps;
+      const double down = compute_loss(p.model, p.x.view(), p.y, ws2);
+      b.data()[idx] = saved;
+      EXPECT_NEAR(grad.layer(l).bias.data()[idx], (up - down) / (2 * eps),
+                  1e-7)
+          << "layer " << l << " bias index " << idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, GradientCheck,
+                         ::testing::Values(Activation::kSigmoid,
+                                           Activation::kTanh,
+                                           Activation::kRelu,
+                                           Activation::kIdentity));
+
+TEST(GradientBce, MatchesFiniteDifferences) {
+  MlpConfig c = tiny_config();
+  Rng rng(11);
+  Model m(c, rng);
+  Matrix x(3, c.input_dim);
+  tensor::fill_normal(x.view(), rng, 0, 1);
+  Matrix targets(3, c.num_classes);
+  for (Index i = 0; i < targets.size(); ++i) {
+    targets.data()[i] = rng.bernoulli(0.4) ? 1.0 : 0.0;
+  }
+  Workspace ws;
+  Gradient grad = make_zero_gradient(m);
+  compute_gradient_bce(m, x.view(), targets.view(), ws, grad);
+
+  const double eps = 1e-6;
+  Workspace ws2;
+  auto loss_fn = [&] {
+    forward(m, x.view(), ws2);
+    auto logits = ws2.logits().rows_view(0, 3);
+    return sigmoid_bce(logits, targets.view(), nullptr);
+  };
+  auto& w = m.layer(1).weights;
+  for (Index idx = 0; idx < w.size(); idx += 3) {
+    const Scalar saved = w.data()[idx];
+    w.data()[idx] = saved + eps;
+    const double up = loss_fn();
+    w.data()[idx] = saved - eps;
+    const double down = loss_fn();
+    w.data()[idx] = saved;
+    EXPECT_NEAR(grad.layer(1).weights.data()[idx], (up - down) / (2 * eps),
+                1e-7);
+  }
+}
+
+TEST(SgdStep, GradientDescentReducesLoss) {
+  MlpConfig c = tiny_config();
+  Problem p = make_problem(c, 32, 13);
+  Workspace ws;
+  Gradient grad = make_zero_gradient(p.model);
+  const double initial = compute_gradient(p.model, p.x.view(), p.y, ws, grad);
+  double prev = initial;
+  for (int step = 0; step < 1500; ++step) {
+    sgd_step(p.model, grad, 0.5);
+    prev = compute_gradient(p.model, p.x.view(), p.y, ws, grad);
+  }
+  // Full-batch gradient descent must make substantial progress on a
+  // 32-example problem (sigmoid hidden layers learn slowly, hence the
+  // generous step budget).
+  EXPECT_LT(prev, 0.5 * initial);
+}
+
+TEST(Workspace, ReusableAcrossBatchSizes) {
+  MlpConfig c = tiny_config();
+  Problem big = make_problem(c, 16, 17);
+  Problem small = make_problem(c, 4, 17);
+  Workspace ws;
+  Gradient g1 = make_zero_gradient(big.model);
+  Gradient g2 = make_zero_gradient(big.model);
+
+  // Large batch first, then small: buffers must not leak stale rows.
+  compute_gradient(big.model, big.x.view(), big.y, ws, g1);
+  compute_gradient(big.model, small.x.view(), small.y, ws, g2);
+
+  Workspace fresh;
+  Gradient g3 = make_zero_gradient(big.model);
+  compute_gradient(big.model, small.x.view(), small.y, fresh, g3);
+  EXPECT_EQ(g2.max_abs_diff(g3), 0.0);
+}
+
+TEST(Mlp, BatchGradientIsMeanOfExampleGradients) {
+  MlpConfig c = tiny_config();
+  Problem p = make_problem(c, 8, 19);
+  Workspace ws;
+  Gradient batch_grad = make_zero_gradient(p.model);
+  compute_gradient(p.model, p.x.view(), p.y, ws, batch_grad);
+
+  Gradient sum = make_zero_gradient(p.model);
+  Gradient one = make_zero_gradient(p.model);
+  for (Index i = 0; i < 8; ++i) {
+    std::span<const std::int32_t> yi(p.y.data() + i, 1);
+    compute_gradient(p.model, p.x.rows_view(i, 1), yi, ws, one);
+    sum.axpy(1.0 / 8.0, one);
+  }
+  EXPECT_LT(batch_grad.max_abs_diff(sum), 1e-10);
+}
+
+TEST(Mlp, TrainingFlopsScalesWithBatchAndDepth) {
+  MlpConfig c = tiny_config();
+  const double f1 = training_flops(c, 16);
+  const double f2 = training_flops(c, 32);
+  EXPECT_NEAR(f2 / f1, 2.0, 1e-9);
+  MlpConfig deeper = c;
+  deeper.hidden_layers = 4;
+  EXPECT_GT(training_flops(deeper, 16), f1);
+}
+
+TEST(Mlp, InputWidthMismatchDies) {
+  MlpConfig c = tiny_config();
+  Problem p = make_problem(c, 2, 23);
+  Matrix bad(2, c.input_dim + 1);
+  Workspace ws;
+  EXPECT_DEATH(forward(p.model, bad.view(), ws), "input_dim");
+}
+
+}  // namespace
+}  // namespace hetsgd::nn

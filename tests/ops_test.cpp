@@ -1,0 +1,144 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hetsgd::tensor {
+namespace {
+
+TEST(Ops, Axpy) {
+  Matrix x{{1, 2}, {3, 4}};
+  Matrix y{{10, 20}, {30, 40}};
+  axpy(2, x.view(), y.view());
+  EXPECT_EQ(y(0, 0), 12);
+  EXPECT_EQ(y(1, 1), 48);
+}
+
+TEST(Ops, AxpyShapeMismatchDies) {
+  Matrix x(2, 2), y(2, 3);
+  EXPECT_DEATH(axpy(1, x.view(), y.view()), "shape mismatch");
+}
+
+TEST(Ops, Scale) {
+  Matrix x{{2, 4}};
+  scale(0.5, x.view());
+  EXPECT_EQ(x(0, 0), 1);
+  EXPECT_EQ(x(0, 1), 2);
+}
+
+TEST(Ops, Sub) {
+  Matrix a{{5, 7}}, b{{2, 3}};
+  Matrix out(1, 2);
+  sub(a.view(), b.view(), out.view());
+  EXPECT_EQ(out(0, 0), 3);
+  EXPECT_EQ(out(0, 1), 4);
+}
+
+TEST(Ops, HadamardInplace) {
+  Matrix x{{2, 3}};
+  Matrix y{{5, 7}};
+  hadamard_inplace(x.view(), y.view());
+  EXPECT_EQ(y(0, 0), 10);
+  EXPECT_EQ(y(0, 1), 21);
+}
+
+TEST(Ops, AddRowBias) {
+  Matrix bias{{1, 2, 3}};
+  Matrix m{{0, 0, 0}, {10, 10, 10}};
+  add_row_bias(bias.view(), m.view());
+  EXPECT_EQ(m(0, 1), 2);
+  EXPECT_EQ(m(1, 2), 13);
+}
+
+TEST(Ops, ColSums) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  Matrix out(1, 2);
+  col_sums(m.view(), out.view());
+  EXPECT_EQ(out(0, 0), 9);
+  EXPECT_EQ(out(0, 1), 12);
+}
+
+TEST(Ops, FrobeniusNorm) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(frobenius_norm_sq(m.view()), 25.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(m.view()), 5.0);
+}
+
+TEST(Ops, MaxAbsDiff) {
+  Matrix a{{1, 2}}, b{{1.5, 1}};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.view(), b.view()), 1.0);
+}
+
+TEST(Ops, Sum) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(sum(m.view()), 10.0);
+}
+
+TEST(Ops, FillNormalStatistics) {
+  Rng rng(3);
+  Matrix m(100, 100);
+  fill_normal(m.view(), rng, 2.0, 3.0);
+  double mean = sum(m.view()) / m.size();
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  double var = 0;
+  for (Index i = 0; i < m.size(); ++i) {
+    var += (m.data()[i] - mean) * (m.data()[i] - mean);
+  }
+  var /= m.size();
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Ops, FillUniformRange) {
+  Rng rng(5);
+  Matrix m(50, 50);
+  fill_uniform(m.view(), rng, -1.0, 1.0);
+  for (Index i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -1.0);
+    EXPECT_LT(m.data()[i], 1.0);
+  }
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(9);
+  Matrix m(20, 15);
+  fill_normal(m.view(), rng, 0, 5);
+  softmax_rows(m.view());
+  for (Index r = 0; r < m.rows(); ++r) {
+    Scalar total = 0;
+    for (Index c = 0; c < m.cols(); ++c) {
+      EXPECT_GT(m(r, c), 0);
+      total += m(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Ops, SoftmaxStableForLargeLogits) {
+  Matrix m{{1000.0, 1001.0}};
+  softmax_rows(m.view());
+  EXPECT_TRUE(all_finite(m.view()));
+  EXPECT_NEAR(m(0, 0) + m(0, 1), 1.0, 1e-12);
+  EXPECT_GT(m(0, 1), m(0, 0));
+}
+
+TEST(Ops, SoftmaxPreservesOrder) {
+  Matrix m{{1.0, 3.0, 2.0}};
+  softmax_rows(m.view());
+  EXPECT_GT(m(0, 1), m(0, 2));
+  EXPECT_GT(m(0, 2), m(0, 0));
+}
+
+TEST(Ops, AllFinite) {
+  Matrix m{{1, 2}};
+  EXPECT_TRUE(all_finite(m.view()));
+  m(0, 0) = std::numeric_limits<Scalar>::infinity();
+  EXPECT_FALSE(all_finite(m.view()));
+  m(0, 0) = std::nan("");
+  EXPECT_FALSE(all_finite(m.view()));
+}
+
+}  // namespace
+}  // namespace hetsgd::tensor

@@ -1,0 +1,165 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hetsgd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowUnbiasedSmallBound) {
+  Rng rng(13);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<std::size_t> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+  rng.shuffle(v);
+  std::vector<std::size_t> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleActuallyMoves) {
+  Rng rng(31);
+  std::vector<std::uint32_t> v(100);
+  for (std::uint32_t i = 0; i < 100; ++i) v[i] = i;
+  rng.shuffle(v);
+  int moved = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (v[i] != i) ++moved;
+  }
+  EXPECT_GT(moved, 50);
+}
+
+TEST(Rng, ForkIsIndependentOfParentUse) {
+  Rng a(41);
+  Rng fork1 = a.fork(1);
+  // Consuming from the parent must not change what fork(1) produces.
+  Rng b(41);
+  b.next_u64();
+  b.next_u64();
+  Rng fork2 = b.fork(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(fork1.next_u64(), 0u);  // stream is live
+  }
+  Rng c(41);
+  Rng fork3 = c.fork(1);
+  Rng fork1b = Rng(41).fork(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fork3.next_u64(), fork1b.next_u64());
+  }
+  (void)fork2;
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng a(43);
+  Rng f1 = a.fork(1);
+  Rng f2 = a.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Splitmix, KnownNonZeroSequence) {
+  std::uint64_t s = 0;
+  std::uint64_t a = splitmix64(s);
+  std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+}
+
+}  // namespace
+}  // namespace hetsgd

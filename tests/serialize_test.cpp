@@ -1,0 +1,99 @@
+#include "nn/serialize.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hetsgd::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+MlpConfig sample_config() {
+  MlpConfig c;
+  c.input_dim = 12;
+  c.num_classes = 4;
+  c.hidden_layers = 2;
+  c.hidden_units = 7;
+  c.hidden_activation = Activation::kTanh;
+  c.init = InitScheme::kGlorotUniform;
+  return c;
+}
+
+TEST(Serialize, RoundTripExact) {
+  const std::string path = temp_path("hetsgd_ckpt_rt.bin");
+  Rng rng(42);
+  Model original(sample_config(), rng);
+  save_model(original, path);
+  Model loaded = load_model(path);
+  EXPECT_EQ(loaded.max_abs_diff(original), 0.0);
+  EXPECT_EQ(loaded.config().input_dim, 12);
+  EXPECT_EQ(loaded.config().num_classes, 4);
+  EXPECT_EQ(loaded.config().hidden_layers, 2);
+  EXPECT_EQ(loaded.config().hidden_units, 7);
+  EXPECT_EQ(loaded.config().hidden_activation, Activation::kTanh);
+  EXPECT_EQ(loaded.config().init, InitScheme::kGlorotUniform);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RoundTripAfterTraining) {
+  // Parameters changed from init must survive bit-for-bit.
+  const std::string path = temp_path("hetsgd_ckpt_trained.bin");
+  Rng rng(7);
+  Model m(sample_config(), rng);
+  m.layer(0).weights(0, 0) = 3.14159;
+  m.layer(2).bias(0, 3) = -2.71828;
+  save_model(m, path);
+  Model loaded = load_model(path);
+  EXPECT_EQ(loaded.layer(0).weights(0, 0), 3.14159);
+  EXPECT_EQ(loaded.layer(2).bias(0, 3), -2.71828);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileDies) {
+  EXPECT_DEATH(load_model("/nonexistent/ckpt.bin"), "cannot open");
+}
+
+TEST(Serialize, BadMagicDies) {
+  const std::string path = temp_path("hetsgd_ckpt_bad.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE this is not a checkpoint";
+  }
+  EXPECT_DEATH(load_model(path), "bad magic");
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileDies) {
+  const std::string path = temp_path("hetsgd_ckpt_trunc.bin");
+  Rng rng(1);
+  Model m(sample_config(), rng);
+  save_model(m, path);
+  // Truncate to half size.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  EXPECT_DEATH(load_model(path), "truncated");
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, NoHiddenLayers) {
+  const std::string path = temp_path("hetsgd_ckpt_shallow.bin");
+  MlpConfig c = sample_config();
+  c.hidden_layers = 0;
+  Rng rng(3);
+  Model m(c, rng);
+  save_model(m, path);
+  Model loaded = load_model(path);
+  EXPECT_EQ(loaded.layer_count(), 1u);
+  EXPECT_EQ(loaded.max_abs_diff(m), 0.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hetsgd::nn

@@ -1,0 +1,137 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hetsgd {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+  EXPECT_NEAR(s.sum(), mean * 1000, 1e-6);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  Rng rng(9);
+  RunningStat all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.uniform(-10, 10);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStat before = a;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), before.mean());
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStat, Reset) {
+  RunningStat s;
+  s.add(1);
+  s.add(2);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Percentile, Basics) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_EQ(percentile(v, 0), 1.0);
+  EXPECT_EQ(percentile(v, 100), 5.0);
+  EXPECT_EQ(percentile(v, 50), 3.0);
+  EXPECT_NEAR(percentile(v, 25), 2.0, 1e-12);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_NEAR(percentile(v, 50), 5.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 10), 1.0, 1e-12);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(percentile({}, 50), 0.0);
+  EXPECT_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_EQ(percentile(v, 50), 3.0);
+}
+
+TEST(Ewma, FirstValueInitializes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.add(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, Smooths) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_NEAR(e.value(), 5.0, 1e-12);
+  e.add(10.0);
+  EXPECT_NEAR(e.value(), 7.5, 1e-12);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.add(3.0);
+  EXPECT_NEAR(e.value(), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hetsgd

@@ -1,0 +1,117 @@
+#include "gpusim/unified_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsgd::gpusim {
+namespace {
+
+using tensor::Index;
+
+struct Fixture {
+  DeviceAllocator allocator{1 << 24};  // 16 MiB
+  PerfModel perf{v100_spec()};
+  Stream stream{0};
+};
+
+TEST(UnifiedMemory, StartsHostResident) {
+  Fixture f;
+  UnifiedMatrix m(&f.allocator, 256, 8, 64);
+  EXPECT_EQ(m.page_count(), 4);
+  for (Index r = 0; r < 256; r += 64) {
+    EXPECT_FALSE(m.row_on_device(r));
+  }
+  EXPECT_EQ(f.allocator.in_use(), 0u);
+}
+
+TEST(UnifiedMemory, DeviceAccessMigratesAndAccounts) {
+  Fixture f;
+  UnifiedMatrix m(&f.allocator, 256, 8, 64);
+  double done = 0.0;
+  m.device_access(0, 64, f.perf, f.stream, 0.0, &done);
+  EXPECT_TRUE(m.row_on_device(0));
+  EXPECT_FALSE(m.row_on_device(64));
+  EXPECT_EQ(m.page_faults(), 1u);
+  EXPECT_EQ(m.bytes_migrated(), 64u * 8 * sizeof(tensor::Scalar));
+  EXPECT_EQ(f.allocator.in_use(), 64u * 8 * sizeof(tensor::Scalar));
+  EXPECT_GT(done, kPageFaultLatency);  // fault latency charged
+}
+
+TEST(UnifiedMemory, RepeatAccessIsFree) {
+  Fixture f;
+  UnifiedMatrix m(&f.allocator, 128, 8, 64);
+  double d1 = 0, d2 = 0;
+  m.device_access(0, 128, f.perf, f.stream, 0.0, &d1);
+  m.device_access(0, 128, f.perf, f.stream, d1, &d2);
+  EXPECT_EQ(m.page_faults(), 2u);  // two pages on the first access
+  EXPECT_DOUBLE_EQ(d2, d1);        // second access: no migration, no cost
+}
+
+TEST(UnifiedMemory, PingPongMigratesBackAndForth) {
+  Fixture f;
+  UnifiedMatrix m(&f.allocator, 64, 8, 64);
+  double t = 0.0;
+  auto view = m.device_access(0, 64, f.perf, f.stream, t, &t);
+  view(0, 0) = 1.0;  // device writes
+  auto host = m.host_access(0, 64, f.perf, f.stream, t, &t);
+  EXPECT_EQ(host(0, 0), 1.0);  // same backing store, coherent
+  EXPECT_FALSE(m.row_on_device(0));
+  EXPECT_EQ(f.allocator.in_use(), 0u);  // device share released
+  EXPECT_EQ(m.page_faults(), 2u);
+  m.device_access(0, 64, f.perf, f.stream, t, &t);
+  EXPECT_EQ(m.page_faults(), 3u);
+}
+
+TEST(UnifiedMemory, PrefetchAvoidsFaultLatency) {
+  Fixture f;
+  UnifiedMatrix faulted(&f.allocator, 1024, 64, 64);
+  UnifiedMatrix prefetched(&f.allocator, 1024, 64, 64);
+  Stream s1(1), s2(2);
+  double fault_done = 0.0;
+  faulted.device_access(0, 1024, f.perf, s1, 0.0, &fault_done);
+  const double prefetch_done =
+      prefetched.prefetch_to_device(0, 1024, f.perf, s2, 0.0);
+  EXPECT_LT(prefetch_done, fault_done);  // no per-page fault latency
+  EXPECT_EQ(prefetched.page_faults(), 0u);
+  EXPECT_EQ(prefetched.bytes_migrated(), faulted.bytes_migrated());
+}
+
+TEST(UnifiedMemory, PartialPageAtTheEnd) {
+  Fixture f;
+  UnifiedMatrix m(&f.allocator, 100, 8, 64);  // pages: 64 + 36 rows
+  EXPECT_EQ(m.page_count(), 2);
+  double done = 0.0;
+  m.device_access(64, 36, f.perf, f.stream, 0.0, &done);
+  EXPECT_EQ(f.allocator.in_use(), 36u * 8 * sizeof(tensor::Scalar));
+}
+
+TEST(UnifiedMemory, OversubscriptionDies) {
+  DeviceAllocator tiny(1024);
+  PerfModel perf(v100_spec());
+  Stream stream(0);
+  UnifiedMatrix m(&tiny, 64, 8, 64);  // page = 4 KiB > 1 KiB capacity
+  double done = 0.0;
+  EXPECT_DEATH(m.device_access(0, 64, perf, stream, 0.0, &done),
+               "out of memory");
+}
+
+TEST(UnifiedMemory, OutOfRangeAccessDies) {
+  Fixture f;
+  UnifiedMatrix m(&f.allocator, 64, 8, 64);
+  double done = 0.0;
+  EXPECT_DEATH(m.device_access(32, 64, f.perf, f.stream, 0.0, &done),
+               "out of range");
+}
+
+TEST(UnifiedMemory, DestructorReleasesDeviceShare) {
+  Fixture f;
+  {
+    UnifiedMatrix m(&f.allocator, 128, 8, 64);
+    double done = 0.0;
+    m.device_access(0, 128, f.perf, f.stream, 0.0, &done);
+    EXPECT_GT(f.allocator.in_use(), 0u);
+  }
+  EXPECT_EQ(f.allocator.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace hetsgd::gpusim
