@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cpu_lanes.dir/ablation_cpu_lanes.cpp.o"
+  "CMakeFiles/ablation_cpu_lanes.dir/ablation_cpu_lanes.cpp.o.d"
+  "ablation_cpu_lanes"
+  "ablation_cpu_lanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_lanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lr_scaling.dir/ablation_lr_scaling.cpp.o"
+  "CMakeFiles/ablation_lr_scaling.dir/ablation_lr_scaling.cpp.o.d"
+  "ablation_lr_scaling"
+  "ablation_lr_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lr_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_svrg.dir/ablation_svrg.cpp.o"
+  "CMakeFiles/ablation_svrg.dir/ablation_svrg.cpp.o.d"
+  "ablation_svrg"
+  "ablation_svrg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_svrg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

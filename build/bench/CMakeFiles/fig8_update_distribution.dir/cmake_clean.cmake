@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_update_distribution.dir/fig8_update_distribution.cpp.o"
+  "CMakeFiles/fig8_update_distribution.dir/fig8_update_distribution.cpp.o.d"
+  "fig8_update_distribution"
+  "fig8_update_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_update_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsgd_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/hetsgd_bench_common.dir/bench_common.cpp.o.d"
+  "libhetsgd_bench_common.a"
+  "libhetsgd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsgd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gemm.dir/micro_gemm.cpp.o"
+  "CMakeFiles/micro_gemm.dir/micro_gemm.cpp.o.d"
+  "micro_gemm"
+  "micro_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

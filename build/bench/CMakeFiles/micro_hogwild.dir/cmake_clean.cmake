@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hogwild.dir/micro_hogwild.cpp.o"
+  "CMakeFiles/micro_hogwild.dir/micro_hogwild.cpp.o.d"
+  "micro_hogwild"
+  "micro_hogwild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hogwild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_eval.dir/checkpoint_eval.cpp.o"
+  "CMakeFiles/checkpoint_eval.dir/checkpoint_eval.cpp.o.d"
+  "checkpoint_eval"
+  "checkpoint_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

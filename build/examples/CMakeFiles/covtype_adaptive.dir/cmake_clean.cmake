@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covtype_adaptive.dir/covtype_adaptive.cpp.o"
+  "CMakeFiles/covtype_adaptive.dir/covtype_adaptive.cpp.o.d"
+  "covtype_adaptive"
+  "covtype_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covtype_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

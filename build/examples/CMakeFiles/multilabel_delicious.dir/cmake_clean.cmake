@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilabel_delicious.dir/multilabel_delicious.cpp.o"
+  "CMakeFiles/multilabel_delicious.dir/multilabel_delicious.cpp.o.d"
+  "multilabel_delicious"
+  "multilabel_delicious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilabel_delicious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

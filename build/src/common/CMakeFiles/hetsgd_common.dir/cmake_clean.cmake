@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsgd_common.dir/cli.cpp.o"
+  "CMakeFiles/hetsgd_common.dir/cli.cpp.o.d"
+  "CMakeFiles/hetsgd_common.dir/csv_writer.cpp.o"
+  "CMakeFiles/hetsgd_common.dir/csv_writer.cpp.o.d"
+  "CMakeFiles/hetsgd_common.dir/logging.cpp.o"
+  "CMakeFiles/hetsgd_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hetsgd_common.dir/rng.cpp.o"
+  "CMakeFiles/hetsgd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hetsgd_common.dir/stats.cpp.o"
+  "CMakeFiles/hetsgd_common.dir/stats.cpp.o.d"
+  "libhetsgd_common.a"
+  "libhetsgd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsgd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhetsgd_common.a"
+)

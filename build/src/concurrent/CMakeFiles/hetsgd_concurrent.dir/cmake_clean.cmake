@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsgd_concurrent.dir/thread_pool.cpp.o"
+  "CMakeFiles/hetsgd_concurrent.dir/thread_pool.cpp.o.d"
+  "libhetsgd_concurrent.a"
+  "libhetsgd_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsgd_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

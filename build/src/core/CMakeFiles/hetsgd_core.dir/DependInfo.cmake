@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/hetsgd_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/hetsgd_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/coordinator.cpp" "src/core/CMakeFiles/hetsgd_core.dir/coordinator.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/coordinator.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/hetsgd_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/cpu_worker.cpp" "src/core/CMakeFiles/hetsgd_core.dir/cpu_worker.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/cpu_worker.cpp.o.d"
+  "/root/repo/src/core/gpu_worker.cpp" "src/core/CMakeFiles/hetsgd_core.dir/gpu_worker.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/gpu_worker.cpp.o.d"
+  "/root/repo/src/core/minibatch_reference.cpp" "src/core/CMakeFiles/hetsgd_core.dir/minibatch_reference.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/minibatch_reference.cpp.o.d"
+  "/root/repo/src/core/svrg.cpp" "src/core/CMakeFiles/hetsgd_core.dir/svrg.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/svrg.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/hetsgd_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/update_ledger.cpp" "src/core/CMakeFiles/hetsgd_core.dir/update_ledger.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/update_ledger.cpp.o.d"
+  "/root/repo/src/core/utilization.cpp" "src/core/CMakeFiles/hetsgd_core.dir/utilization.cpp.o" "gcc" "src/core/CMakeFiles/hetsgd_core.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsgd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hetsgd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/hetsgd_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hetsgd_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hetsgd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hetsgd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hetsgd_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsgd_core.dir/adaptive.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/hetsgd_core.dir/config.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/config.cpp.o.d"
+  "CMakeFiles/hetsgd_core.dir/coordinator.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/hetsgd_core.dir/cost_model.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hetsgd_core.dir/cpu_worker.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/cpu_worker.cpp.o.d"
+  "CMakeFiles/hetsgd_core.dir/gpu_worker.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/gpu_worker.cpp.o.d"
+  "CMakeFiles/hetsgd_core.dir/minibatch_reference.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/minibatch_reference.cpp.o.d"
+  "CMakeFiles/hetsgd_core.dir/svrg.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/svrg.cpp.o.d"
+  "CMakeFiles/hetsgd_core.dir/trainer.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/hetsgd_core.dir/update_ledger.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/update_ledger.cpp.o.d"
+  "CMakeFiles/hetsgd_core.dir/utilization.cpp.o"
+  "CMakeFiles/hetsgd_core.dir/utilization.cpp.o.d"
+  "libhetsgd_core.a"
+  "libhetsgd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsgd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

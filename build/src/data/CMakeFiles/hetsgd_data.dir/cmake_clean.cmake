@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsgd_data.dir/dataset.cpp.o"
+  "CMakeFiles/hetsgd_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/hetsgd_data.dir/libsvm_io.cpp.o"
+  "CMakeFiles/hetsgd_data.dir/libsvm_io.cpp.o.d"
+  "CMakeFiles/hetsgd_data.dir/split.cpp.o"
+  "CMakeFiles/hetsgd_data.dir/split.cpp.o.d"
+  "CMakeFiles/hetsgd_data.dir/synthetic.cpp.o"
+  "CMakeFiles/hetsgd_data.dir/synthetic.cpp.o.d"
+  "libhetsgd_data.a"
+  "libhetsgd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsgd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/hetsgd_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/hetsgd_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_memory.cpp" "src/gpusim/CMakeFiles/hetsgd_gpusim.dir/device_memory.cpp.o" "gcc" "src/gpusim/CMakeFiles/hetsgd_gpusim.dir/device_memory.cpp.o.d"
+  "/root/repo/src/gpusim/perf_model.cpp" "src/gpusim/CMakeFiles/hetsgd_gpusim.dir/perf_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/hetsgd_gpusim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/gpusim/unified_memory.cpp" "src/gpusim/CMakeFiles/hetsgd_gpusim.dir/unified_memory.cpp.o" "gcc" "src/gpusim/CMakeFiles/hetsgd_gpusim.dir/unified_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsgd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hetsgd_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

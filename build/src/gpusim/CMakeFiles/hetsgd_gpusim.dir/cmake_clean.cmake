@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsgd_gpusim.dir/device.cpp.o"
+  "CMakeFiles/hetsgd_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/hetsgd_gpusim.dir/device_memory.cpp.o"
+  "CMakeFiles/hetsgd_gpusim.dir/device_memory.cpp.o.d"
+  "CMakeFiles/hetsgd_gpusim.dir/perf_model.cpp.o"
+  "CMakeFiles/hetsgd_gpusim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/hetsgd_gpusim.dir/unified_memory.cpp.o"
+  "CMakeFiles/hetsgd_gpusim.dir/unified_memory.cpp.o.d"
+  "libhetsgd_gpusim.a"
+  "libhetsgd_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsgd_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsgd_msg.dir/actor.cpp.o"
+  "CMakeFiles/hetsgd_msg.dir/actor.cpp.o.d"
+  "libhetsgd_msg.a"
+  "libhetsgd_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsgd_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

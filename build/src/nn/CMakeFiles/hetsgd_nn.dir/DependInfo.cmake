@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/hetsgd_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/hetsgd_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/device_mlp.cpp" "src/nn/CMakeFiles/hetsgd_nn.dir/device_mlp.cpp.o" "gcc" "src/nn/CMakeFiles/hetsgd_nn.dir/device_mlp.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/hetsgd_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/hetsgd_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/hetsgd_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/hetsgd_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/hetsgd_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/hetsgd_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/hetsgd_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/hetsgd_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/hetsgd_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/hetsgd_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/hetsgd_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/hetsgd_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsgd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hetsgd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hetsgd_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

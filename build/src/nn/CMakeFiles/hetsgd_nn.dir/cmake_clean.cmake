@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsgd_nn.dir/activation.cpp.o"
+  "CMakeFiles/hetsgd_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/hetsgd_nn.dir/device_mlp.cpp.o"
+  "CMakeFiles/hetsgd_nn.dir/device_mlp.cpp.o.d"
+  "CMakeFiles/hetsgd_nn.dir/loss.cpp.o"
+  "CMakeFiles/hetsgd_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/hetsgd_nn.dir/metrics.cpp.o"
+  "CMakeFiles/hetsgd_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/hetsgd_nn.dir/mlp.cpp.o"
+  "CMakeFiles/hetsgd_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/hetsgd_nn.dir/model.cpp.o"
+  "CMakeFiles/hetsgd_nn.dir/model.cpp.o.d"
+  "CMakeFiles/hetsgd_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/hetsgd_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/hetsgd_nn.dir/serialize.cpp.o"
+  "CMakeFiles/hetsgd_nn.dir/serialize.cpp.o.d"
+  "libhetsgd_nn.a"
+  "libhetsgd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsgd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

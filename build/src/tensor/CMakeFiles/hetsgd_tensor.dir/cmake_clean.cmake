@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsgd_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/hetsgd_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/hetsgd_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/hetsgd_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/hetsgd_tensor.dir/ops.cpp.o"
+  "CMakeFiles/hetsgd_tensor.dir/ops.cpp.o.d"
+  "libhetsgd_tensor.a"
+  "libhetsgd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsgd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_cli_test.dir/csv_cli_test.cpp.o"
+  "CMakeFiles/csv_cli_test.dir/csv_cli_test.cpp.o.d"
+  "csv_cli_test"
+  "csv_cli_test.pdb"
+  "csv_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

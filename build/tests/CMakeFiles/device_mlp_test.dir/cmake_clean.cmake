@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_mlp_test.dir/device_mlp_test.cpp.o"
+  "CMakeFiles/device_mlp_test.dir/device_mlp_test.cpp.o.d"
+  "device_mlp_test"
+  "device_mlp_test.pdb"
+  "device_mlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_mlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

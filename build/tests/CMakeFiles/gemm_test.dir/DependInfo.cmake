@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gemm_test.cpp" "tests/CMakeFiles/gemm_test.dir/gemm_test.cpp.o" "gcc" "tests/CMakeFiles/gemm_test.dir/gemm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hetsgd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hetsgd_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/hetsgd_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hetsgd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hetsgd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hetsgd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hetsgd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hetsgd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledger_util_test.dir/ledger_util_test.cpp.o"
+  "CMakeFiles/ledger_util_test.dir/ledger_util_test.cpp.o.d"
+  "ledger_util_test"
+  "ledger_util_test.pdb"
+  "ledger_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledger_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libsvm_test.dir/libsvm_test.cpp.o"
+  "CMakeFiles/libsvm_test.dir/libsvm_test.cpp.o.d"
+  "libsvm_test"
+  "libsvm_test.pdb"
+  "libsvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libsvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

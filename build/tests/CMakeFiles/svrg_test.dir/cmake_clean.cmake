@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svrg_test.dir/svrg_test.cpp.o"
+  "CMakeFiles/svrg_test.dir/svrg_test.cpp.o.d"
+  "svrg_test"
+  "svrg_test.pdb"
+  "svrg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svrg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
