@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# GEMM micro-benchmark smoke run + regression gate.
+#
+# Builds bench/micro_gemm in a HETSGD_NATIVE=ON build (the packed kernel's
+# tuned configuration), runs the skinny/dense shape sweep against the frozen
+# seed kernel compiled into the same binary, distills the GFLOP/s counters
+# into bench_results/BENCH_gemm.json, and fails if any shape regressed more
+# than 20% against the checked-in baseline
+# (bench_results/BENCH_gemm_baseline.json).
+#
+# Usage:
+#   scripts/bench_smoke.sh                    # run + gate
+#   scripts/bench_smoke.sh --update-baseline  # run + rewrite the baseline
+#
+# Absolute GFLOP/s vary across hosts; the gate compares new/seed *ratios*,
+# which are stable for a given ISA. Refresh the baseline with
+# --update-baseline when benchmarking on a different machine class.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-native}
+RAW_JSON=$BUILD_DIR/micro_gemm_raw.json
+
+cmake -B "$BUILD_DIR" -S . \
+  -DHETSGD_NATIVE=ON \
+  -DHETSGD_BUILD_TESTS=OFF \
+  -DHETSGD_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" --target micro_gemm -j"$(nproc)"
+
+"$BUILD_DIR/bench/micro_gemm" \
+  --benchmark_min_time=0.3 \
+  --benchmark_out="$RAW_JSON" \
+  --benchmark_out_format=json
+
+python3 scripts/check_bench_regression.py "$RAW_JSON" \
+  --out bench_results/BENCH_gemm.json \
+  --baseline bench_results/BENCH_gemm_baseline.json \
+  "$@"

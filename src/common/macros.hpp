@@ -23,6 +23,17 @@
     std::abort();                                                            \
   } while (0)
 
+// Non-aliasing pointer qualifier for the vectorized kernels. Callers of
+// functions whose parameters carry this qualifier must pass non-overlapping
+// ranges (enforced by API contract, not at runtime).
+#if defined(_MSC_VER)
+#define HETSGD_RESTRICT __restrict
+#elif defined(__GNUC__) || defined(__clang__)
+#define HETSGD_RESTRICT __restrict__
+#else
+#define HETSGD_RESTRICT
+#endif
+
 namespace hetsgd {
 
 // Cache line size used for alignment of concurrently-written data.

@@ -24,6 +24,16 @@ bool parse_activation(const std::string& name, Activation& out) {
   return false;
 }
 
+tensor::Epilogue bias_act_epilogue(Activation a) {
+  switch (a) {
+    case Activation::kIdentity: return tensor::Epilogue::kBias;
+    case Activation::kSigmoid:  return tensor::Epilogue::kBiasSigmoid;
+    case Activation::kTanh:     return tensor::Epilogue::kBiasTanh;
+    case Activation::kRelu:     return tensor::Epilogue::kBiasRelu;
+  }
+  HETSGD_UNREACHABLE("unknown activation");
+}
+
 tensor::Scalar activation_apply(Activation a, tensor::Scalar x) {
   switch (a) {
     case Activation::kIdentity: return x;

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "tensor/matrix.hpp"
+#include "tensor/microkernel.hpp"
 
 namespace hetsgd::nn {
 
@@ -23,6 +24,11 @@ bool parse_activation(const std::string& name, Activation& out);
 
 // Applies the activation element-wise in place.
 void activation_forward(Activation a, tensor::MatrixView m);
+
+// Fused-GEMM epilogue computing bias-add + this activation during the C
+// write-back (tensor::gemm_bias_act); equivalent to add_row_bias followed
+// by activation_forward up to FP-contraction rounding.
+tensor::Epilogue bias_act_epilogue(Activation a);
 
 // Multiplies `delta` in place by f'(z) expressed through the *activated*
 // values `activated` (all supported activations admit this form:

@@ -83,22 +83,22 @@ tensor::Scalar DeviceMlp::compute_gradient(tensor::ConstMatrixView x,
     stream_.enqueue(device_.perf().transfer_seconds(bytes), issue_time);
   }
 
-  // Forward: per layer, Z = A_prev * W^T + b, then activation.
+  // Forward: per layer, one fused kernel out = act(A_prev * W^T + b) —
+  // bias and activation ride the GEMM epilogue, so a single kernel launch
+  // is charged instead of GEMM + element-wise passes.
   tensor::ConstMatrixView prev(input_rows);
   for (std::size_t l = 0; l < layers; ++l) {
     const auto wv = replica_[l].weights.device_view();
     auto out = tensor::MatrixView(acts_[l].device_view().data(), batch,
                                   wv.rows());
-    tensor::matmul_nt(prev, wv, out);
-    tensor::add_row_bias(replica_[l].bias.device_view(), out);
+    const tensor::Epilogue ep =
+        l + 1 < layers ? bias_act_epilogue(config_.hidden_activation)
+                       : tensor::Epilogue::kBias;
+    tensor::gemm_bias_act(tensor::Trans::kNo, tensor::Trans::kYes,
+                          tensor::Scalar{1}, prev, wv, out,
+                          replica_[l].bias.device_view(), ep);
     stream_.enqueue(
         device_.perf().gemm_seconds(batch, wv.rows(), wv.cols()), issue_time);
-    if (l + 1 < layers) {
-      activation_forward(config_.hidden_activation, out);
-      stream_.enqueue(device_.perf().elementwise_seconds(
-                          static_cast<std::uint64_t>(out.size())),
-                      issue_time);
-    }
     prev = out;
   }
 

@@ -43,12 +43,14 @@ void forward(const Model& model, tensor::ConstMatrixView x, Workspace& ws) {
   for (std::size_t l = 0; l < layers; ++l) {
     const Layer& layer = model.layer(l);
     auto out = batch_rows(ws.acts()[l], batch);
-    // Z = input * W^T  (batch x out)
-    tensor::matmul_nt(input, layer.weights.view(), out);
-    tensor::add_row_bias(layer.bias.view(), out);
-    if (l + 1 < layers) {
-      activation_forward(model.config().hidden_activation, out);
-    }
+    // out = act(input * W^T + b), bias and activation fused into the GEMM
+    // write-back (the output layer keeps raw logits: bias only).
+    const tensor::Epilogue ep =
+        l + 1 < layers ? bias_act_epilogue(model.config().hidden_activation)
+                       : tensor::Epilogue::kBias;
+    tensor::gemm_bias_act(tensor::Trans::kNo, tensor::Trans::kYes,
+                          tensor::Scalar{1}, input, layer.weights.view(), out,
+                          layer.bias.view(), ep);
     input = out;
   }
 }

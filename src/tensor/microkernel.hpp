@@ -1,0 +1,142 @@
+// Register-blocked GEMM micro-kernel and its C write-back epilogues.
+//
+// The micro-kernel multiplies one packed A row-panel (kMR rows, k-major)
+// by one packed B column-panel (kNR cols, k-major) into a kMR x kNR
+// accumulator tile that lives entirely in vector registers. Packing (see
+// pack.hpp) guarantees both operands are contiguous and zero-padded to the
+// full tile, so the kernel has no edge branches; ragged C edges are handled
+// only at write-back. `#pragma omp simd` over the kNR accumulator columns
+// keeps the kernel portable (any OpenMP-SIMD compiler) while vectorizing
+// the fused multiply-adds.
+#pragma once
+
+#include <cmath>
+
+#include "common/macros.hpp"
+#include "tensor/types.hpp"
+
+namespace hetsgd::tensor {
+
+// Fused epilogue applied during the final-k-block write-back of
+// gemm_bias_act: C = act(Z + bias) with Z the GEMM result. Mirrors
+// nn::Activation; defined here because tensor cannot depend on nn.
+enum class Epilogue {
+  kBias,         // C = Z + bias (output/logit layers)
+  kBiasSigmoid,  // C = 1 / (1 + exp(-(Z + bias)))
+  kBiasTanh,     // C = tanh(Z + bias)
+  kBiasRelu,     // C = max(Z + bias, 0)
+};
+
+namespace detail {
+
+// Register tile. 4x16 doubles = 64 accumulators: 8 AVX-512 registers (16
+// AVX2), leaving room for the B row and the A broadcasts; two vectors per
+// accumulator row halves the broadcast pressure per FMA. (On baseline
+// SSE2 the accumulators spill to L1, but the packed layout keeps even that
+// case ahead of the seed kernel — measured in bench/micro_gemm.)
+inline constexpr Index kMR = 4;
+inline constexpr Index kNR = 16;
+
+// Cache blocking (double precision, 32KB L1 / 256KB-1MB L2 class cores):
+// one packed B block (kKC x kNC) streams by column panels of kKC*kNR*8 =
+// 16KB (L1-resident), one packed A block (kMC x kKC) is 128KB
+// (L2-resident). Correctness does not depend on these values; kMC and kNC
+// are multiples of kMR/kNR so packed panels are never split.
+inline constexpr Index kMC = 64;
+inline constexpr Index kKC = 256;
+inline constexpr Index kNC = 256;
+
+// acc[kMR*kNR] = apanel * bpanel over the shared dimension kc.
+// apanel: k-major, kMR contiguous rows per k. bpanel: k-major, kNR
+// contiguous cols per k. Both zero-padded to the full tile by packing.
+inline void micro_kernel(Index kc, const Scalar* HETSGD_RESTRICT apanel,
+                         const Scalar* HETSGD_RESTRICT bpanel,
+                         Scalar* HETSGD_RESTRICT acc) {
+  for (Index i = 0; i < kMR * kNR; ++i) acc[i] = 0;
+  for (Index k = 0; k < kc; ++k) {
+    const Scalar* HETSGD_RESTRICT a = apanel + k * kMR;
+    const Scalar* HETSGD_RESTRICT b = bpanel + k * kNR;
+    for (Index r = 0; r < kMR; ++r) {
+      const Scalar ar = a[r];
+#pragma omp simd
+      for (Index j = 0; j < kNR; ++j) {
+        acc[r * kNR + j] += ar * b[j];
+      }
+    }
+  }
+}
+
+// C[0:mrem, 0:nrem] += alpha * acc. mrem/nrem < full tile only on the
+// ragged bottom/right edges of the matrix.
+inline void store_tile(const Scalar* HETSGD_RESTRICT acc, Scalar alpha,
+                       Scalar* HETSGD_RESTRICT c, Index ldc, Index mrem,
+                       Index nrem) {
+  for (Index r = 0; r < mrem; ++r) {
+    Scalar* HETSGD_RESTRICT crow = c + r * ldc;
+    const Scalar* HETSGD_RESTRICT arow = acc + r * kNR;
+#pragma omp simd
+    for (Index j = 0; j < nrem; ++j) {
+      crow[j] += alpha * arow[j];
+    }
+  }
+}
+
+inline Scalar epilogue_apply(Epilogue e, Scalar z) {
+  switch (e) {
+    case Epilogue::kBias:        return z;
+    case Epilogue::kBiasSigmoid: return Scalar{1} / (Scalar{1} + std::exp(-z));
+    case Epilogue::kBiasTanh:    return std::tanh(z);
+    case Epilogue::kBiasRelu:    return z > 0 ? z : Scalar{0};
+  }
+  HETSGD_UNREACHABLE("unknown epilogue");
+}
+
+// c[0:n] = act(c[0:n] + bias[0:n]). The epilogue is a compile-time
+// template parameter so the activation dispatch happens once per row, not
+// once per element. The polynomial branches (bias, relu) vectorize; the
+// transcendental branches stay plain scalar loops on purpose — scalar
+// libm's range-reduction fast paths (e.g. saturated tanh) beat the
+// fixed-cost simd variants on the wide pre-activation values GEMM
+// produces.
+template <Epilogue E>
+inline void epilogue_row_impl(Scalar* HETSGD_RESTRICT c,
+                              const Scalar* HETSGD_RESTRICT bias, Index n) {
+  if constexpr (E == Epilogue::kBias || E == Epilogue::kBiasRelu) {
+#pragma omp simd
+    for (Index j = 0; j < n; ++j) {
+      const Scalar z = c[j] + bias[j];
+      if constexpr (E == Epilogue::kBias) {
+        c[j] = z;
+      } else {
+        c[j] = z > 0 ? z : Scalar{0};
+      }
+    }
+  } else {
+    for (Index j = 0; j < n; ++j) {
+      const Scalar z = c[j] + bias[j];
+      if constexpr (E == Epilogue::kBiasSigmoid) {
+        c[j] = Scalar{1} / (Scalar{1} + std::exp(-z));
+      } else {
+        c[j] = std::tanh(z);
+      }
+    }
+  }
+}
+
+inline void epilogue_row(Epilogue e, Scalar* HETSGD_RESTRICT c,
+                         const Scalar* HETSGD_RESTRICT bias, Index n) {
+  switch (e) {
+    case Epilogue::kBias:
+      return epilogue_row_impl<Epilogue::kBias>(c, bias, n);
+    case Epilogue::kBiasSigmoid:
+      return epilogue_row_impl<Epilogue::kBiasSigmoid>(c, bias, n);
+    case Epilogue::kBiasTanh:
+      return epilogue_row_impl<Epilogue::kBiasTanh>(c, bias, n);
+    case Epilogue::kBiasRelu:
+      return epilogue_row_impl<Epilogue::kBiasRelu>(c, bias, n);
+  }
+  HETSGD_UNREACHABLE("unknown epilogue");
+}
+
+}  // namespace detail
+}  // namespace hetsgd::tensor

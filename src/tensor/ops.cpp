@@ -17,17 +17,19 @@ void check_same_shape(ConstMatrixView a, ConstMatrixView b, const char* what) {
 
 void axpy(Scalar alpha, ConstMatrixView x, MatrixView y) {
   check_same_shape(x, y, "axpy shape mismatch");
-  const Scalar* xs = x.data();
-  Scalar* ys = y.data();
+  const Scalar* HETSGD_RESTRICT xs = x.data();
+  Scalar* HETSGD_RESTRICT ys = y.data();
   const Index n = x.size();
+#pragma omp simd
   for (Index i = 0; i < n; ++i) {
     ys[i] += alpha * xs[i];
   }
 }
 
 void scale(Scalar alpha, MatrixView x) {
-  Scalar* xs = x.data();
+  Scalar* HETSGD_RESTRICT xs = x.data();
   const Index n = x.size();
+#pragma omp simd
   for (Index i = 0; i < n; ++i) {
     xs[i] *= alpha;
   }
@@ -36,10 +38,11 @@ void scale(Scalar alpha, MatrixView x) {
 void sub(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   check_same_shape(a, b, "sub shape mismatch");
   check_same_shape(a, out, "sub output shape mismatch");
-  const Scalar* as = a.data();
-  const Scalar* bs = b.data();
-  Scalar* os = out.data();
+  const Scalar* HETSGD_RESTRICT as = a.data();
+  const Scalar* HETSGD_RESTRICT bs = b.data();
+  Scalar* HETSGD_RESTRICT os = out.data();
   const Index n = a.size();
+#pragma omp simd
   for (Index i = 0; i < n; ++i) {
     os[i] = as[i] - bs[i];
   }
@@ -47,9 +50,10 @@ void sub(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
 
 void hadamard_inplace(ConstMatrixView x, MatrixView y) {
   check_same_shape(x, y, "hadamard shape mismatch");
-  const Scalar* xs = x.data();
-  Scalar* ys = y.data();
+  const Scalar* HETSGD_RESTRICT xs = x.data();
+  Scalar* HETSGD_RESTRICT ys = y.data();
   const Index n = x.size();
+#pragma omp simd
   for (Index i = 0; i < n; ++i) {
     ys[i] *= xs[i];
   }
@@ -58,10 +62,12 @@ void hadamard_inplace(ConstMatrixView x, MatrixView y) {
 void add_row_bias(ConstMatrixView bias, MatrixView m) {
   HETSGD_ASSERT(bias.rows() == 1 && bias.cols() == m.cols(),
                 "bias shape mismatch");
-  const Scalar* b = bias.data();
+  const Scalar* HETSGD_RESTRICT b = bias.data();
+  const Index cols = m.cols();
   for (Index r = 0; r < m.rows(); ++r) {
-    Scalar* row = m.row(r);
-    for (Index c = 0; c < m.cols(); ++c) {
+    Scalar* HETSGD_RESTRICT row = m.row(r);
+#pragma omp simd
+    for (Index c = 0; c < cols; ++c) {
       row[c] += b[c];
     }
   }
@@ -70,11 +76,14 @@ void add_row_bias(ConstMatrixView bias, MatrixView m) {
 void col_sums(ConstMatrixView m, MatrixView out) {
   HETSGD_ASSERT(out.rows() == 1 && out.cols() == m.cols(),
                 "col_sums output shape mismatch");
-  Scalar* o = out.data();
-  std::fill(o, o + m.cols(), Scalar{0});
+  Scalar* HETSGD_RESTRICT o = out.data();
+  const Index cols = m.cols();
+  std::fill(o, o + cols, Scalar{0});
   for (Index r = 0; r < m.rows(); ++r) {
-    const Scalar* row = m.row(r);
-    for (Index c = 0; c < m.cols(); ++c) {
+    const Scalar* HETSGD_RESTRICT row = m.row(r);
+    // Independent per-column accumulators: vectorizes without a reduction.
+#pragma omp simd
+    for (Index c = 0; c < cols; ++c) {
       o[c] += row[c];
     }
   }

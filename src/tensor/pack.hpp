@@ -1,0 +1,100 @@
+// Panel packing for the blocked GEMM (see microkernel.hpp for the layout
+// the kernel consumes).
+//
+// Packing copies one cache block of op(A) / op(B) into a contiguous,
+// aligned, zero-padded buffer:
+//   A block (mc x kc) -> ceil(mc/kMR) row panels, each k-major with kMR
+//     consecutive rows interleaved: panel[k*kMR + r] = op(A)(i0+r, p0+k).
+//   B block (kc x nc) -> ceil(nc/kNR) column panels, each k-major with kNR
+//     consecutive cols interleaved: panel[k*kNR + j] = op(B)(p0+k, j0+j).
+// All four Trans combinations are resolved here, at pack time, by choosing
+// the source walk order — the micro-kernel always sees the same contiguous
+// unit-stride layout, which is what lets it stay branch-free and
+// vectorized. Ragged panel edges are zero-padded so the kernel always runs
+// a full kMR x kNR tile.
+#pragma once
+
+#include <algorithm>
+
+#include "common/macros.hpp"
+#include "tensor/buffer.hpp"
+#include "tensor/microkernel.hpp"
+#include "tensor/types.hpp"
+
+namespace hetsgd::tensor::detail {
+
+// Growable aligned scratch for packed panels. gemm.cpp keeps one per
+// thread (thread_local), so packing never allocates in steady state and
+// parallel workers never share write destinations.
+class PackBuffer {
+ public:
+  Scalar* ensure(std::size_t count) {
+    if (buf_.size() < count) buf_ = AlignedBuffer<Scalar>(count);
+    return buf_.data();
+  }
+
+ private:
+  AlignedBuffer<Scalar> buf_;
+};
+
+// Packs op(A)[i0 : i0+mc, p0 : p0+kc] from row-major storage `a` with
+// leading dimension `lda`. `trans` selects op: op(A)(i,k) is a[i*lda+k]
+// untransposed, a[k*lda+i] transposed.
+inline void pack_a(const Scalar* a, Index lda, bool trans, Index i0, Index mc,
+                   Index p0, Index kc, Scalar* HETSGD_RESTRICT dst) {
+  for (Index ir = 0; ir < mc; ir += kMR) {
+    const Index mr = std::min(kMR, mc - ir);
+    if (!trans) {
+      // Rows of `a` are contiguous in k: stream each row into the panel's
+      // stride-kMR slots (the panel is L1-resident while being written).
+      for (Index r = 0; r < mr; ++r) {
+        const Scalar* HETSGD_RESTRICT src = a + (i0 + ir + r) * lda + p0;
+        for (Index k = 0; k < kc; ++k) dst[k * kMR + r] = src[k];
+      }
+    } else {
+      // op(A) row i is column i of `a`: row k of `a` is contiguous in i,
+      // so walk k-major and copy kMR-wide slices.
+      for (Index k = 0; k < kc; ++k) {
+        const Scalar* HETSGD_RESTRICT src = a + (p0 + k) * lda + (i0 + ir);
+        for (Index r = 0; r < mr; ++r) dst[k * kMR + r] = src[r];
+      }
+    }
+    for (Index r = mr; r < kMR; ++r) {
+      for (Index k = 0; k < kc; ++k) dst[k * kMR + r] = 0;
+    }
+    dst += kMR * kc;
+  }
+}
+
+// Packs op(B)[p0 : p0+kc, j0 : j0+nc] from row-major storage `b` with
+// leading dimension `ldb`. op(B)(k,j) is b[k*ldb+j] untransposed,
+// b[j*ldb+k] transposed.
+inline void pack_b(const Scalar* b, Index ldb, bool trans, Index p0, Index kc,
+                   Index j0, Index nc, Scalar* HETSGD_RESTRICT dst) {
+  for (Index jr = 0; jr < nc; jr += kNR) {
+    const Index nr = std::min(kNR, nc - jr);
+    if (!trans) {
+      // Row k of `b` is contiguous in j: copy kNR-wide slices k-major.
+      for (Index k = 0; k < kc; ++k) {
+        const Scalar* HETSGD_RESTRICT src = b + (p0 + k) * ldb + (j0 + jr);
+        for (Index j = 0; j < nr; ++j) dst[k * kNR + j] = src[j];
+      }
+    } else {
+      // op(B) column j is row j of `b`, contiguous in k: stream each row
+      // into the panel's stride-kNR slots. This is the TT/NT fix — the
+      // seed kernel read b(j,k) with an lda-strided gather in its
+      // innermost loop; here the strided walk happens once per block into
+      // an L1-resident panel.
+      for (Index j = 0; j < nr; ++j) {
+        const Scalar* HETSGD_RESTRICT src = b + (j0 + jr + j) * ldb + p0;
+        for (Index k = 0; k < kc; ++k) dst[k * kNR + j] = src[k];
+      }
+    }
+    for (Index j = nr; j < kNR; ++j) {
+      for (Index k = 0; k < kc; ++k) dst[k * kNR + j] = 0;
+    }
+    dst += kNR * kc;
+  }
+}
+
+}  // namespace hetsgd::tensor::detail

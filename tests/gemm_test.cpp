@@ -1,5 +1,7 @@
 #include "tensor/gemm.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -71,11 +73,15 @@ TEST_P(GemmMatchesNaive, AllShapes) {
 std::vector<GemmCase> gemm_cases() {
   std::vector<GemmCase> cases;
   const Trans kT[] = {Trans::kNo, Trans::kYes};
-  // Shapes straddling the blocking boundaries (64/128) plus degenerate
-  // 1-row/1-col shapes (matrix-vector, the Hogwild fast path).
+  // Ragged shapes straddling every boundary of the packed kernel: the
+  // 4x16 register tile, the 64/256/256 cache blocks, the skinny-m
+  // fast-path threshold (m < 8), and degenerate 1-row/1-col shapes
+  // (matrix-vector, the Hogwild hot path).
   const std::tuple<Index, Index, Index> shapes[] = {
-      {1, 1, 1},   {1, 7, 5},    {5, 1, 3},    {3, 4, 1},   {17, 19, 23},
-      {64, 64, 64}, {65, 63, 130}, {128, 32, 200}, {200, 130, 64},
+      {1, 1, 1},      {1, 7, 5},      {5, 1, 3},      {3, 4, 1},
+      {3, 7, 5},      {4, 16, 8},     {7, 33, 12},    {8, 16, 4},
+      {17, 19, 23},   {17, 129, 63},  {64, 64, 64},   {65, 63, 130},
+      {5, 300, 260},  {63, 257, 300}, {128, 32, 200}, {200, 130, 64},
   };
   for (auto [m, n, k] : shapes) {
     for (Trans ta : kT) {
@@ -84,7 +90,24 @@ std::vector<GemmCase> gemm_cases() {
       }
     }
   }
-  // Alpha/beta variants on one mid-size shape.
+  // Full alpha/beta grid {0, 1, -0.5}^2 on two ragged shapes (one inside
+  // the skinny fast path, one exercising the packed path across blocks),
+  // all four Trans combinations.
+  const Scalar kAlphaBeta[] = {Scalar{0}, Scalar{1}, Scalar{-0.5}};
+  const std::tuple<Index, Index, Index> ab_shapes[] = {{3, 7, 5},
+                                                       {17, 129, 63}};
+  for (auto [m, n, k] : ab_shapes) {
+    for (Trans ta : kT) {
+      for (Trans tb : kT) {
+        for (Scalar alpha : kAlphaBeta) {
+          for (Scalar beta : kAlphaBeta) {
+            cases.push_back({m, n, k, ta, tb, alpha, beta});
+          }
+        }
+      }
+    }
+  }
+  // Off-grid alpha/beta variants on one mid-size shape.
   cases.push_back({70, 40, 90, Trans::kNo, Trans::kNo, Scalar{2.5},
                    Scalar{-0.5}});
   cases.push_back({70, 40, 90, Trans::kYes, Trans::kYes, Scalar{-1},
@@ -96,6 +119,116 @@ std::vector<GemmCase> gemm_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, GemmMatchesNaive,
                          ::testing::ValuesIn(gemm_cases()));
+
+// Local reference for the fused epilogues, written out independently of
+// detail::epilogue_apply (tensor tests cannot use nn::activation).
+Scalar ref_act(Epilogue e, Scalar z) {
+  switch (e) {
+    case Epilogue::kBias:
+      return z;
+    case Epilogue::kBiasSigmoid:
+      return Scalar{1} / (Scalar{1} + std::exp(-z));
+    case Epilogue::kBiasTanh:
+      return std::tanh(z);
+    case Epilogue::kBiasRelu:
+      return z > Scalar{0} ? z : Scalar{0};
+  }
+  return z;
+}
+
+const char* epilogue_name(Epilogue e) {
+  switch (e) {
+    case Epilogue::kBias:        return "bias";
+    case Epilogue::kBiasSigmoid: return "sigmoid";
+    case Epilogue::kBiasTanh:    return "tanh";
+    case Epilogue::kBiasRelu:    return "relu";
+  }
+  return "?";
+}
+
+// gemm_bias_act must equal the unfused gemm -> add_row_bias -> activation
+// sequence within 1e-12 (they share the arithmetic; only FP contraction in
+// the fused write-back may differ) across epilogues, Trans combinations,
+// and shapes hitting the skinny fast path, exact register tiles, and
+// ragged multi-block edges.
+TEST(GemmBiasAct, MatchesUnfusedSequence) {
+  const Trans kT[] = {Trans::kNo, Trans::kYes};
+  const Epilogue kEps[] = {Epilogue::kBias, Epilogue::kBiasSigmoid,
+                           Epilogue::kBiasTanh, Epilogue::kBiasRelu};
+  const std::tuple<Index, Index, Index> shapes[] = {
+      {1, 1, 1},   {1, 7, 5},     {3, 7, 5},   {4, 16, 8},
+      {7, 33, 12}, {17, 129, 63}, {70, 40, 90},
+  };
+  std::uint64_t seed = 9000;
+  for (auto [m, n, k] : shapes) {
+    for (Trans ta : kT) {
+      for (Trans tb : kT) {
+        Rng rng(++seed);
+        Matrix a = ta == Trans::kNo ? random_matrix(m, k, rng)
+                                    : random_matrix(k, m, rng);
+        Matrix b = tb == Trans::kNo ? random_matrix(k, n, rng)
+                                    : random_matrix(n, k, rng);
+        Matrix bias = random_matrix(1, n, rng);
+        for (Epilogue e : kEps) {
+          // Garbage in C: gemm_bias_act must overwrite, not accumulate.
+          Matrix fused = random_matrix(m, n, rng);
+          gemm_bias_act(ta, tb, Scalar{1}, a.view(), b.view(), fused.view(),
+                        bias.view(), e);
+          Matrix ref(m, n);
+          gemm(ta, tb, Scalar{1}, a.view(), b.view(), Scalar{0}, ref.view());
+          add_row_bias(bias.view(), ref.view());
+          for (Index i = 0; i < m; ++i) {
+            for (Index j = 0; j < n; ++j) ref(i, j) = ref_act(e, ref(i, j));
+          }
+          EXPECT_LT(max_abs_diff(ref.view(), fused.view()), 1e-12)
+              << "m=" << m << " n=" << n << " k=" << k
+              << " ta=" << (ta == Trans::kYes) << " tb=" << (tb == Trans::kYes)
+              << " epilogue=" << epilogue_name(e);
+        }
+      }
+    }
+  }
+}
+
+// alpha = 0 must still run the epilogue: C = act(bias) broadcast per row.
+TEST(GemmBiasAct, AlphaZeroAppliesEpilogueToBias) {
+  const Index m = 3, n = 20, k = 4;
+  Rng rng(41);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix bias = random_matrix(1, n, rng);
+  Matrix c = random_matrix(m, n, rng);
+  gemm_bias_act(Trans::kNo, Trans::kNo, Scalar{0}, a.view(), b.view(),
+                c.view(), bias.view(), Epilogue::kBiasSigmoid);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(c(i, j), ref_act(Epilogue::kBiasSigmoid, bias(0, j)));
+    }
+  }
+}
+
+// The scaled fused product: C = act(alpha * A * B^T + bias).
+TEST(GemmBiasAct, RespectsAlpha) {
+  const Index m = 9, n = 33, k = 17;
+  const Scalar alpha = -0.5;
+  Rng rng(42);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(n, k, rng);
+  Matrix bias = random_matrix(1, n, rng);
+  Matrix fused(m, n);
+  gemm_bias_act(Trans::kNo, Trans::kYes, alpha, a.view(), b.view(),
+                fused.view(), bias.view(), Epilogue::kBiasTanh);
+  Matrix ref(m, n);
+  gemm(Trans::kNo, Trans::kYes, alpha, a.view(), b.view(), Scalar{0},
+       ref.view());
+  add_row_bias(bias.view(), ref.view());
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      ref(i, j) = ref_act(Epilogue::kBiasTanh, ref(i, j));
+    }
+  }
+  EXPECT_LT(max_abs_diff(ref.view(), fused.view()), 1e-12);
+}
 
 TEST(Gemm, MatmulWrappers) {
   Rng rng(77);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace hetsgd::nn {
@@ -233,6 +234,48 @@ TEST(Mlp, InputWidthMismatchDies) {
   Matrix bad(2, c.input_dim + 1);
   Workspace ws;
   EXPECT_DEATH(forward(p.model, bad.view(), ws), "input_dim");
+}
+
+// Unfused reference forward: the three-pass gemm -> add_row_bias ->
+// activation_forward sequence that forward() replaced with the fused
+// gemm_bias_act write-back.
+Scalar unfused_forward_loss(const Model& model, tensor::ConstMatrixView x,
+                            std::span<const std::int32_t> labels) {
+  std::vector<Matrix> acts(model.layer_count());
+  tensor::ConstMatrixView input = x;
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    const Layer& layer = model.layer(l);
+    acts[l].resize(x.rows(), layer.weights.rows());
+    auto out = acts[l].view();
+    tensor::matmul_nt(input, layer.weights.view(), out);
+    tensor::add_row_bias(layer.bias.view(), out);
+    if (l + 1 < model.layer_count()) {
+      activation_forward(model.config().hidden_activation, out);
+    }
+    input = acts[l].view();
+  }
+  return softmax_cross_entropy(acts.back().view(), labels, nullptr);
+}
+
+// Acceptance check for the fused forward path: across several SGD steps
+// (i.e. on evolving trained parameters), the loss computed through the
+// fused gemm_bias_act forward matches the unfused three-pass sequence
+// within 1e-10 at every step, for every activation.
+TEST(Mlp, FusedForwardMatchesUnfusedTrajectory) {
+  for (Activation act : {Activation::kSigmoid, Activation::kTanh,
+                         Activation::kRelu, Activation::kIdentity}) {
+    MlpConfig c = tiny_config(act);
+    Problem p = make_problem(c, 16, 99);
+    Workspace ws;
+    Gradient grad = make_zero_gradient(p.model);
+    for (int step = 0; step < 8; ++step) {
+      const Scalar fused = compute_gradient(p.model, p.x.view(), p.y, ws, grad);
+      const Scalar unfused = unfused_forward_loss(p.model, p.x.view(), p.y);
+      EXPECT_NEAR(fused, unfused, 1e-10)
+          << "activation=" << activation_name(act) << " step=" << step;
+      sgd_step(p.model, grad, 0.1);
+    }
+  }
 }
 
 }  // namespace
