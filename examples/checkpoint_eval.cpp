@@ -6,6 +6,8 @@
 // running long heterogeneous jobs.
 #include <cstdio>
 #include <filesystem>
+#include <optional>
+#include <string>
 
 #include "common/cli.hpp"
 #include "core/trainer.hpp"
@@ -83,8 +85,17 @@ int main(int argc, char** argv) {
   std::printf("checkpoint written: %s (%llu parameters)\n", ckpt.c_str(),
               static_cast<unsigned long long>(model.parameter_count()));
 
-  // Resume: load and continue training.
-  nn::Model resumed = nn::load_model(ckpt);
+  // Resume: load and continue training. The recoverable API reports a
+  // corrupt/missing checkpoint instead of aborting — a resume workflow
+  // should fall back to retraining, not crash.
+  std::string load_error;
+  std::optional<nn::Model> maybe_resumed = nn::try_load_model(ckpt, &load_error);
+  if (!maybe_resumed) {
+    std::fprintf(stderr, "checkpoint unusable (%s); aborting resume\n",
+                 load_error.c_str());
+    return 1;
+  }
+  nn::Model resumed = std::move(*maybe_resumed);
   std::printf("checkpoint loaded: identical=%s\n",
               resumed.max_abs_diff(model) == 0.0 ? "yes" : "NO");
   for (int step = 0; step < 200; ++step) {

@@ -6,10 +6,13 @@
 // threshold, and the coordinator rebalances batch sizes as update counts
 // diverge. Prints the loss trajectory, final batch sizes, update
 // distribution, and utilization.
+#include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "common/cli.hpp"
 #include "core/cost_model.hpp"
+#include "core/fault.hpp"
 #include "core/trainer.hpp"
 #include "data/synthetic.hpp"
 
@@ -19,12 +22,17 @@ int main(int argc, char** argv) {
   double scale = 0.01;
   double gpu_epochs_budget = 10.0;
   double alpha = 2.0;
+  std::string fault_csv;
+  core::FaultToleranceConfig fault;
   CliParser cli("covtype_adaptive",
                 "Adaptive Hogbatch on a covtype-like workload");
   cli.add_double("scale", &scale, "fraction of covtype's 581k examples");
   cli.add_double("budget", &gpu_epochs_budget,
                  "virtual-time budget, in GPU mini-batch epochs");
   cli.add_double("alpha", &alpha, "batch resize factor (Algorithm 2)");
+  core::register_fault_flags(cli, &fault);
+  cli.add_string("fault-csv", &fault_csv,
+                 "write the fault/recovery event log to this CSV");
   if (!cli.parse(argc, argv)) return 0;
 
   data::Dataset dataset =
@@ -45,6 +53,7 @@ int main(int argc, char** argv) {
   config.gpu.max_batch = 1024;
   config.gpu.batch = 1024;
   config.gpu.spec.half_saturation_batch = 128;
+  config.fault = fault;
 
   // Budget: enough virtual time for the GPU alone to do `budget` epochs.
   core::TrainingConfig probe = config;
@@ -85,5 +94,34 @@ int main(int argc, char** argv) {
   std::printf("final loss %.4f after %.2f epochs in %.4g virtual seconds "
               "(%.1fs wall)\n",
               r.final_loss, r.epochs, r.total_vtime, r.wall_seconds);
+
+  if (!r.fault_events.empty()) {
+    std::printf("\nfault/recovery log (%zu events):\n",
+                r.fault_events.size());
+    for (const auto& e : r.fault_events) {
+      std::printf("  t=%8.5f worker=%2d %-20s reclaimed=%llu %s\n", e.vtime,
+                  e.worker, core::fault_kind_name(e.kind),
+                  static_cast<unsigned long long>(e.reclaimed_examples),
+                  e.detail.c_str());
+    }
+    std::printf("dispatched %llu = reported %llu + reclaimed %llu "
+                "(late %llu) | rollbacks=%llu quarantined=%llu lr_scale=%g\n",
+                static_cast<unsigned long long>(r.examples_dispatched),
+                static_cast<unsigned long long>(r.examples_dispatched -
+                                                r.examples_reclaimed),
+                static_cast<unsigned long long>(r.examples_reclaimed),
+                static_cast<unsigned long long>(r.late_examples),
+                static_cast<unsigned long long>(r.rollbacks),
+                static_cast<unsigned long long>(r.quarantined_workers),
+                r.final_lr_scale);
+  }
+  if (!fault_csv.empty()) {
+    core::write_fault_events_csv(r, fault_csv);
+    std::printf("fault events written to %s\n", fault_csv.c_str());
+  }
+  if (!std::isfinite(r.final_loss)) {
+    std::fprintf(stderr, "FINAL LOSS IS NON-FINITE\n");
+    return 1;
+  }
   return 0;
 }

@@ -89,6 +89,28 @@ class MpscQueue {
     }
   }
 
+  // Single-consumer pop with a timeout: returns nullopt either when the
+  // timeout expires with the queue still open (caller distinguishes via
+  // closed()) or when the queue is closed and fully drained. Lets an idle
+  // consumer run periodic work (deadline checks) without busy-waiting.
+  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      if (auto v = try_pop()) return v;
+      if (closed_.load(std::memory_order_acquire)) {
+        if (auto v = try_pop()) return v;
+        return std::nullopt;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+      sleeping_.store(true, std::memory_order_release);
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      if (empty_unsynchronized() && !closed_.load(std::memory_order_acquire)) {
+        wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      sleeping_.store(false, std::memory_order_release);
+    }
+  }
+
   void close() {
     closed_.store(true, std::memory_order_release);
     std::lock_guard<std::mutex> lock(wake_mutex_);

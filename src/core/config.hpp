@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/fault.hpp"
 #include "gpusim/perf_model.hpp"
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
@@ -121,6 +122,11 @@ struct TrainingConfig {
 
   CpuWorkerConfig cpu;
   GpuWorkerConfig gpu;
+
+  // Fault injection + self-healing knobs (deadlines, reclamation,
+  // quarantine, divergence rollback, auto-checkpoints). Defaults leave
+  // every recovery layer off, matching pre-fault-tolerant behavior.
+  FaultToleranceConfig fault;
 
   // Effective learning rate for an update computed over `update_batch`
   // examples.

@@ -1,12 +1,15 @@
 #include "core/coordinator.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.hpp"
 #include "common/macros.hpp"
 #include "core/cost_model.hpp"
 #include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
 
 namespace hetsgd::core {
 
@@ -20,7 +23,7 @@ Coordinator::Coordinator(data::Dataset& dataset, nn::Model& model,
       adaptive_enabled_(config.algorithm == Algorithm::kAdaptiveHogbatch),
       adaptive_(config.alpha), cpu_perf_(config.cpu.spec),
       gpu_perf_(config.gpu.spec), eval_snapshot_(model),
-      rng_(config.seed ^ 0xc0ffee) {
+      rng_(config.seed ^ 0xc0ffee), last_good_model_(model) {
   // Copy out the loss-evaluation sample before any shuffling.
   const Index n = dataset_.example_count();
   Index sample = eval_sample > 0 ? std::min(eval_sample, n) : n;
@@ -56,28 +59,110 @@ double Coordinator::epochs_completed() const {
          static_cast<double>(dataset_.example_count());
 }
 
+std::uint64_t Coordinator::quarantined_workers() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) {
+    if (w.quarantined || w.failed) ++n;
+  }
+  return n;
+}
+
 void Coordinator::on_start() {
   HETSGD_ASSERT(!workers_.empty(), "coordinator needs at least one worker");
   monitor_ = std::make_unique<UtilizationMonitor>(workers_.size());
   if (config_.eval_interval_vseconds > 0.0) {
     next_eval_vtime_ = config_.eval_interval_vseconds;
   }
+  if (config_.fault.checkpoint_interval_vseconds > 0.0 &&
+      !config_.fault.checkpoint_path.empty()) {
+    next_checkpoint_vtime_ = config_.fault.checkpoint_interval_vseconds;
+  }
+  if (fault_layer_enabled()) {
+    // Real-time fallback heartbeat for the all-workers-silent case.
+    set_idle_interval(std::chrono::milliseconds(20));
+  }
   evaluate_loss(0.0);
   try_dispatch_all();
 }
 
 bool Coordinator::handle(msg::Envelope envelope) {
+  idle_ticks_ = 0;  // any message is a sign of life; restart the silence window
   if (std::holds_alternative<msg::ScheduleWork>(envelope.message)) {
     on_schedule(std::get<msg::ScheduleWork>(envelope.message));
+  } else if (std::holds_alternative<msg::WorkerFault>(envelope.message)) {
+    on_worker_fault(std::get<msg::WorkerFault>(envelope.message));
+  } else if (std::holds_alternative<msg::ShutdownAck>(envelope.message)) {
+    ++shutdown_acks_;
+    if (shutdown_acks_ >= expected_acks_) loop_done_ = true;
+  } else {
+    HETSGD_LOG_WARN("coordinator", "unexpected message variant %zu",
+                    envelope.message.index());
+  }
+  return !loop_done_;
+}
+
+bool Coordinator::on_idle() {
+  if (shutting_down_ || !fault_layer_enabled()) return !loop_done_;
+  if (!any_busy()) {
+    idle_ticks_ = 0;
     return true;
   }
-  if (std::holds_alternative<msg::ShutdownAck>(envelope.message)) {
-    ++shutdown_acks_;
-    return shutdown_acks_ < workers_.size();
+  const std::int64_t grace =
+      std::max<std::int64_t>(1, config_.fault.stall_grace_ticks);
+  if (++idle_ticks_ < grace) return true;
+
+  // The mailbox has been silent for the whole grace window while work is
+  // outstanding. Silence alone doesn't condemn anyone — a healthy worker
+  // may simply be grinding through a big batch — so a worker loses its
+  // dispatch only when it is ALSO virtually overdue: the frontier passed
+  // its deadline and it still hasn't reported.
+  const double frontier = ledger_.max_clock();
+  bool reclaimed = false;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerRuntime& w = workers_[i];
+    if (!w.busy || frontier <= w.deadline_vtime) continue;
+    const auto id = static_cast<msg::WorkerId>(i);
+    HETSGD_LOG_WARN("coordinator",
+                    "worker %d silent past grace window and overdue; "
+                    "reclaiming dispatch",
+                    id);
+    ledger_.record_fault({frontier, id, FaultKind::kDeadlineMiss, 0,
+                          "silent past grace window, virtually overdue"});
+    reclaim_inflight(id, frontier, "grace window expired");
+    note_fault(id, frontier);
+    reclaimed = true;
   }
-  HETSGD_LOG_WARN("coordinator", "unexpected message variant %zu",
-                  envelope.message.index());
-  return true;
+
+  // Frozen frontier: nobody reads as overdue because every busy worker is
+  // lost and the clocks cannot advance (the gater is itself dead). After
+  // an extended window, force the oldest outstanding deadline lost.
+  if (!reclaimed && idle_ticks_ >= 4 * grace) {
+    msg::WorkerId victim = -1;
+    double earliest = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const WorkerRuntime& w = workers_[i];
+      if (w.busy && w.deadline_vtime < earliest) {
+        earliest = w.deadline_vtime;
+        victim = static_cast<msg::WorkerId>(i);
+      }
+    }
+    if (victim >= 0) {
+      HETSGD_LOG_WARN(
+          "coordinator",
+          "worker %d silent past extended grace window; reclaiming dispatch",
+          victim);
+      ledger_.record_fault({frontier, victim, FaultKind::kDeadlineMiss, 0,
+                            "extended real-time grace window expired"});
+      reclaim_inflight(victim, frontier, "extended grace window expired");
+      note_fault(victim, frontier);
+      reclaimed = true;
+    }
+  }
+  if (reclaimed) {
+    idle_ticks_ = 0;
+    try_dispatch_all();
+  }
+  return !loop_done_;
 }
 
 void Coordinator::on_schedule(const msg::ScheduleWork& report) {
@@ -85,6 +170,9 @@ void Coordinator::on_schedule(const msg::ScheduleWork& report) {
   HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
                 "report from unknown worker");
   WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
+
+  const bool late =
+      report.examples > 0 && report.sequence <= w.reclaimed_through;
 
   if (report.examples > 0) {
     // Busy segment: [clock_after - batch_busy, clock_after].
@@ -94,9 +182,45 @@ void Coordinator::on_schedule(const msg::ScheduleWork& report) {
     monitor_->record(id, report.clock_vtime - seg_len, report.clock_vtime,
                      std::clamp(report.intensity, 0.0, 1.0));
   }
-  ledger_.on_report(report);
+  if (late) {
+    // The batch was reclaimed after a deadline miss and its range
+    // re-dispatched; the Hogwild updates really happened (clocks and update
+    // counts advance) but the examples must not be counted twice.
+    ledger_.on_late_report(report);
+    ++late_reports_;
+    late_examples_ += report.examples;
+    HETSGD_LOG_WARN("coordinator",
+                    "late report from worker %d (seq %llu <= reclaimed %llu)",
+                    id, static_cast<unsigned long long>(report.sequence),
+                    static_cast<unsigned long long>(w.reclaimed_through));
+  } else {
+    // Straggler detection: the worker's own completion clock is the only
+    // sound virtual-time signal. Judging a dispatch by how far *other*
+    // workers' clocks ran past its deadline misfires under heterogeneous
+    // batch costs (a GPU report can legally leapfrog a tiny Hogwild
+    // batch's deadline by a whole clock window), so lateness is only ever
+    // charged against the straggler's own report.
+    const bool straggler = fault_layer_enabled() && report.examples > 0 &&
+                           w.inflight_size > 0 &&
+                           report.clock_vtime > w.deadline_vtime;
+    ledger_.on_report(report);
+    if (report.examples > 0) {
+      w.inflight_size = 0;  // the in-flight dispatch completed
+      if (straggler) {
+        ledger_.record_fault({report.clock_vtime, id, FaultKind::kDeadlineMiss,
+                              0, "straggler: batch finished past deadline"});
+        HETSGD_LOG_WARN(
+            "coordinator",
+            "worker %d finished past its deadline (%.6f > %.6f)", id,
+            report.clock_vtime, w.deadline_vtime);
+        note_fault(id, report.clock_vtime);
+      } else {
+        w.fault_count = 0;  // an on-time report proves health
+      }
+    }
+  }
   w.busy = false;
-  w.waiting = true;
+  w.waiting = !w.failed;  // a live worker is asking for more
 
   if (adaptive_enabled_) {
     const Index next = adaptive_.on_request(id, report.updates);
@@ -104,6 +228,29 @@ void Coordinator::on_schedule(const msg::ScheduleWork& report) {
   }
 
   maybe_eval_checkpoints();
+  try_dispatch_all();
+}
+
+void Coordinator::on_worker_fault(const msg::WorkerFault& fault) {
+  const msg::WorkerId id = fault.worker;
+  HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
+                "fault from unknown worker");
+  WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
+  HETSGD_LOG_WARN("coordinator", "worker %d reported fault: %s", id,
+                  fault.detail.c_str());
+  ledger_.record_fault(
+      {fault.vtime, id, FaultKind::kWorkerFault, 0, fault.detail});
+
+  // The worker's actor loop exits after escalating: treat it as dead.
+  reclaim_inflight(id, fault.vtime, fault.detail);
+  w.failed = true;
+  w.busy = false;
+  w.waiting = false;
+  if (!w.quarantined) {
+    w.quarantined = true;
+    ledger_.record_fault(
+        {fault.vtime, id, FaultKind::kQuarantine, 0, "fatal worker fault"});
+  }
   try_dispatch_all();
 }
 
@@ -123,6 +270,39 @@ double Coordinator::estimate_cost(const WorkerRuntime& w,
                            config_.gpu.host_merge_bandwidth);
 }
 
+void Coordinator::reclaim_inflight(msg::WorkerId id, double vtime,
+                                   const std::string& why) {
+  WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
+  if (w.inflight_size <= 0) return;
+  const Index begin = w.inflight_begin;
+  const Index size = w.inflight_size;
+  reclaim_pool_.push_back({begin, size});
+  examples_reclaimed_ += static_cast<std::uint64_t>(size);
+  w.reclaimed_through = w.dispatch_seq;
+  w.inflight_size = 0;
+  w.busy = false;
+  ledger_.record_fault({vtime, id, FaultKind::kReclaim,
+                        static_cast<std::uint64_t>(size), why});
+  HETSGD_LOG_WARN("coordinator",
+                  "reclaimed [%lld, +%lld) from worker %d (%s)",
+                  static_cast<long long>(begin), static_cast<long long>(size),
+                  id, why.c_str());
+}
+
+void Coordinator::note_fault(msg::WorkerId id, double vtime) {
+  WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
+  ++w.fault_count;
+  if (!w.quarantined && !w.failed &&
+      w.fault_count >= std::max<std::int64_t>(1, config_.fault.quarantine_after)) {
+    w.quarantined = true;
+    w.waiting = false;
+    ledger_.record_fault({vtime, id, FaultKind::kQuarantine, 0,
+                          "repeated deadline misses"});
+    HETSGD_LOG_WARN("coordinator", "worker %d quarantined after %lld faults",
+                    id, static_cast<long long>(w.fault_count));
+  }
+}
+
 void Coordinator::try_dispatch_all() {
   if (shutting_down_) return;
 
@@ -131,6 +311,7 @@ void Coordinator::try_dispatch_all() {
   // a worker that will never take another batch.
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     WorkerRuntime& w = workers_[i];
+    if (w.failed || w.quarantined) continue;
     if (!w.finished && !w.busy &&
         ledger_.stats(static_cast<msg::WorkerId>(i)).clock >=
             config_.time_budget_vseconds) {
@@ -153,12 +334,12 @@ void Coordinator::try_dispatch_all() {
     }
     frontier += effective_window();
 
-    // Candidates: idle, unserved, unfinished — dispatched in clock order.
+    // Candidates: idle, unserved, unfinished, healthy — in clock order.
     std::vector<msg::WorkerId> idle;
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       const auto id = static_cast<msg::WorkerId>(i);
       const WorkerRuntime& w = workers_[i];
-      if (!w.waiting || w.busy || w.finished) continue;
+      if (!w.waiting || w.busy || !schedulable(w)) continue;
       idle.push_back(id);
     }
     std::sort(idle.begin(), idle.end(), [&](msg::WorkerId a, msg::WorkerId b) {
@@ -167,6 +348,27 @@ void Coordinator::try_dispatch_all() {
 
     for (msg::WorkerId id : idle) {
       WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
+      const double clock = ledger_.stats(id).clock;
+      if (clock > frontier) continue;  // would run ahead of the frontier
+
+      // Reclaimed ranges first: they are this epoch's lost work and must
+      // finish before the barrier can flip. Partial pieces are fine — this
+      // is tail recovery, not steady-state batching.
+      if (!reclaim_pool_.empty()) {
+        auto [r_begin, r_size] = reclaim_pool_.back();
+        reclaim_pool_.pop_back();
+        const Index piece = std::min<Index>(r_size, batch_for(id));
+        if (piece < r_size) {
+          reclaim_pool_.push_back({r_begin + piece, r_size - piece});
+        }
+        dispatch_range(id, r_begin, piece, /*reclaimed=*/true);
+        if (w.busy) {  // dispatch succeeded (send may fail on a dead box)
+          frontier = std::min(frontier, w.est_completion + effective_window());
+        }
+        progressed = true;
+        continue;
+      }
+
       // Dispatch rule. Algorithm 2 (Adaptive) serves a worker only if a
       // *full* batch remains ("if b^E <= |B| then extract batch"), so
       // small-batch workers sweep the epoch tail — the mechanism that
@@ -179,11 +381,13 @@ void Coordinator::try_dispatch_all() {
       if (adaptive_enabled_ ? batch_for(id) > remaining : remaining <= 0) {
         continue;
       }
-      const double clock = ledger_.stats(id).clock;
-      if (clock > frontier) continue;  // would run ahead of the frontier
-      dispatch(id);
+      const Index batch = std::min<Index>(batch_for(id), remaining);
+      dispatch_range(id, cursor_, batch, /*reclaimed=*/false);
+      cursor_ += batch;
       // The newly-busy worker tightens the frontier for later candidates.
-      frontier = std::min(frontier, w.est_completion + effective_window());
+      if (w.busy) {
+        frontier = std::min(frontier, w.est_completion + effective_window());
+      }
       progressed = true;
     }
   }
@@ -199,27 +403,54 @@ tensor::Index Coordinator::batch_for(msg::WorkerId id) const {
                          dataset_.example_count());
 }
 
-void Coordinator::dispatch(msg::WorkerId id) {
+void Coordinator::dispatch_range(msg::WorkerId id, Index begin, Index size,
+                                 bool reclaimed) {
   WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
-  // Partial tails only under Algorithm 1 (see try_dispatch_all).
-  const Index batch =
-      std::min<Index>(batch_for(id), dataset_.example_count() - cursor_);
-  HETSGD_ASSERT(batch > 0, "dispatch with exhausted epoch");
+  HETSGD_ASSERT(size > 0, "dispatch with empty range");
 
   msg::ExecuteWork work;
-  work.batch_begin = static_cast<std::uint64_t>(cursor_);
-  work.batch_size = static_cast<std::uint64_t>(batch);
-  work.learning_rate = config_.learning_rate;
+  work.batch_begin = static_cast<std::uint64_t>(begin);
+  work.batch_size = static_cast<std::uint64_t>(size);
+  work.learning_rate = config_.learning_rate * lr_scale_;
   work.epoch = epoch_;
   work.not_before = epoch_start_vtime_;
-  cursor_ += batch;
+  work.sequence = ++w.dispatch_seq;
 
   const double start =
       std::max(ledger_.stats(id).clock, epoch_start_vtime_);
-  w.est_completion = start + estimate_cost(w, batch);
+  const double cost = estimate_cost(w, size);
+  w.est_completion = start + cost;
+  w.deadline_vtime = fault_layer_enabled()
+                         ? start + config_.fault.deadline_factor * cost
+                         : std::numeric_limits<double>::max();
+  w.inflight_begin = begin;
+  w.inflight_size = size;
   w.busy = true;
   w.waiting = false;
-  w.actor->send({msg::kCoordinator, work});
+  examples_dispatched_ += static_cast<std::uint64_t>(size);
+  if (reclaimed) {
+    ledger_.record_fault({start, id, FaultKind::kRedispatch,
+                          static_cast<std::uint64_t>(size),
+                          "reclaimed range re-dispatched"});
+  }
+
+  if (!w.actor->send({msg::kCoordinator, work})) {
+    // Dead mailbox: the worker exited without telling us. Take the batch
+    // straight back and drop the worker from the healthy set.
+    ledger_.record_fault({start, id, FaultKind::kSendFailure, 0,
+                          "dispatch send failed: mailbox closed"});
+    HETSGD_LOG_WARN("coordinator", "dispatch to worker %d failed; dropping it",
+                    id);
+    reclaim_inflight(id, start, "dispatch send failed");
+    w.failed = true;
+    w.busy = false;
+    w.waiting = false;
+    if (!w.quarantined) {
+      w.quarantined = true;
+      ledger_.record_fault(
+          {start, id, FaultKind::kQuarantine, 0, "mailbox closed"});
+    }
+  }
 }
 
 void Coordinator::maybe_flip_epoch() {
@@ -227,12 +458,20 @@ void Coordinator::maybe_flip_epoch() {
   // remainder (Algorithm 1: "when there are no more batches and all the
   // workers are done") and every in-flight batch has completed. Any
   // leftover examples smaller than the smallest batch rejoin the pool at
-  // the reshuffle.
+  // the reshuffle. Reclaimed ranges hold the barrier open while a healthy
+  // worker remains to re-run them.
   const Index remaining = dataset_.example_count() - cursor_;
   bool anyone_active = false;
+  bool anyone_schedulable = false;
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (workers_[i].finished) continue;
-    if (workers_[i].waiting || workers_[i].busy) anyone_active = true;
+    const WorkerRuntime& w = workers_[i];
+    if (!schedulable(w)) continue;
+    // Suspended: its dispatch was reclaimed and it has not reported since
+    // (possibly dead). It will not come asking, so it must not hold the
+    // barrier; a late report re-activates it.
+    if (w.fault_count > 0 && !w.busy && !w.waiting) continue;
+    anyone_schedulable = true;
+    if (w.waiting || w.busy) anyone_active = true;
     // Algorithm 2: the epoch lasts while anyone's full batch fits;
     // Algorithm 1: while any example remains.
     const Index needed =
@@ -242,7 +481,19 @@ void Coordinator::maybe_flip_epoch() {
       return;  // someone can still take a batch this epoch
     }
   }
+  if (!reclaim_pool_.empty() && anyone_schedulable) {
+    return;  // lost ranges must be re-dispatched before the barrier flips
+  }
   if (any_busy()) return;  // epoch barrier: wait for in-flight batches
+
+  if (!reclaim_pool_.empty()) {
+    // No healthy worker is left to re-run the lost ranges; they stay
+    // accounted as reclaimed and are dropped with the old permutation.
+    HETSGD_LOG_WARN("coordinator",
+                    "dropping %zu unreclaimable range(s) at epoch flip",
+                    reclaim_pool_.size());
+    reclaim_pool_.clear();
+  }
 
   // Epoch boundary. Evaluate the loss (the paper always computes it on the
   // GPU at epoch end — skipped when interval checkpoints are active, since
@@ -252,6 +503,7 @@ void Coordinator::maybe_flip_epoch() {
   double boundary = ledger_.max_clock();
   if (config_.eval_interval_vseconds <= 0.0) {
     evaluate_loss(boundary);
+    if (shutting_down_) return;  // divergence abort
   }
   if (config_.charge_loss_eval_to_gpu) {
     // Forward pass over the dataset on the GPU: utilization spike of Fig 7.
@@ -273,7 +525,7 @@ void Coordinator::maybe_flip_epoch() {
     return;
   }
   if (!anyone_active) {
-    // All workers hit the budget; nothing left to schedule.
+    // All workers hit the budget (or failed); nothing left to schedule.
     begin_shutdown();
     return;
   }
@@ -298,7 +550,56 @@ void Coordinator::evaluate_loss(double vtime) {
              static_cast<double>(count);
   }
   const double loss = total / static_cast<double>(n);
+  if (!std::isfinite(loss)) {
+    handle_divergence(vtime, loss);
+    return;
+  }
+  // Divergence insurance: remember the last model snapshot that evaluated
+  // to a finite loss, and persist it on the auto-checkpoint cadence.
+  last_good_model_ = eval_snapshot_;
+  last_good_loss_ = loss;
+  has_last_good_ = true;
+  maybe_auto_checkpoint();
   curve_.push_back({vtime, epochs_completed(), loss});
+}
+
+void Coordinator::handle_divergence(double vtime, double loss) {
+  if (config_.fault.abort_on_divergence || !has_last_good_) {
+    HETSGD_LOG_WARN("coordinator",
+                    "non-finite loss at vtime %.6f; aborting run", vtime);
+    ledger_.record_fault({vtime, msg::kCoordinator,
+                          FaultKind::kDivergenceAbort, 0,
+                          "non-finite evaluated loss"});
+    diverged_ = true;
+    curve_.push_back({vtime, epochs_completed(), loss});
+    begin_shutdown();
+    return;
+  }
+  // Roll the shared model back to the last finite-loss snapshot and back
+  // the learning rate off. In-flight Hogwild writers may race the restore;
+  // a re-poisoned model simply triggers another (cheaper) rollback at the
+  // next evaluation. At epoch boundaries the barrier guarantees no racers.
+  model_ = last_good_model_;
+  lr_scale_ *= config_.fault.lr_backoff;
+  ++rollbacks_;
+  HETSGD_LOG_WARN("coordinator",
+                  "non-finite loss at vtime %.6f; rolled back (lr x%.3g)",
+                  vtime, lr_scale_);
+  ledger_.record_fault({vtime, msg::kCoordinator,
+                        FaultKind::kDivergenceRollback, 0,
+                        "restored last-good model, lr backed off"});
+  curve_.push_back({vtime, epochs_completed(), last_good_loss_});
+}
+
+void Coordinator::maybe_auto_checkpoint() {
+  if (next_checkpoint_vtime_ <= 0.0) return;
+  const double progress = ledger_.max_clock();
+  if (progress < next_checkpoint_vtime_) return;
+  nn::save_model(last_good_model_, config_.fault.checkpoint_path);
+  ++checkpoints_written_;
+  while (next_checkpoint_vtime_ <= progress) {
+    next_checkpoint_vtime_ += config_.fault.checkpoint_interval_vseconds;
+  }
 }
 
 void Coordinator::maybe_eval_checkpoints() {
@@ -306,6 +607,7 @@ void Coordinator::maybe_eval_checkpoints() {
   const double progress = ledger_.max_clock();
   while (next_eval_vtime_ <= progress) {
     evaluate_loss(next_eval_vtime_);
+    if (shutting_down_) return;  // divergence abort
     next_eval_vtime_ += config_.eval_interval_vseconds;
   }
 }
@@ -313,9 +615,25 @@ void Coordinator::maybe_eval_checkpoints() {
 void Coordinator::begin_shutdown() {
   if (shutting_down_) return;
   shutting_down_ = true;
-  for (auto& w : workers_) {
-    w.actor->send({msg::kCoordinator, msg::Shutdown{}});
+  // Account for any still-in-flight dispatches (divergence aborts can stop
+  // the run mid-batch): their ranges are reclaimed-but-never-re-dispatched
+  // so the ledger invariant holds at exit, and eventual reports fold in as
+  // late.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i].busy) {
+      reclaim_inflight(static_cast<msg::WorkerId>(i), ledger_.max_clock(),
+                       "run shutting down");
+    }
   }
+  // Count only sends that actually landed: a dead worker's mailbox is
+  // closed and will never ack, and waiting on it would hang the join.
+  expected_acks_ = 0;
+  for (auto& w : workers_) {
+    if (w.actor->send({msg::kCoordinator, msg::Shutdown{}})) {
+      ++expected_acks_;
+    }
+  }
+  if (shutdown_acks_ >= expected_acks_) loop_done_ = true;
 }
 
 bool Coordinator::any_busy() const {
@@ -327,7 +645,12 @@ bool Coordinator::any_busy() const {
 
 bool Coordinator::all_finished() const {
   for (const auto& w : workers_) {
-    if (!w.finished) return false;
+    if (w.failed || w.quarantined || w.finished) continue;
+    // A worker whose dispatch was reclaimed and has not reported since is
+    // suspended: it holds no work and must not block shutdown (it may be
+    // dead). If it does report later, the report folds in as late.
+    if (w.fault_count > 0 && !w.busy && !w.waiting) continue;
+    return false;
   }
   return true;
 }

@@ -13,14 +13,29 @@
 // a configurable window). Both workers stay busy in real time — the fast
 // device simply executes its many virtual batches while the slow one
 // executes its single one.
+//
+// Self-healing layer (DESIGN.md §9, enabled by fault.deadline_factor > 0).
+// Every dispatch carries a sequence number and a virtual-time deadline of
+// k x the estimated batch cost. When the virtual frontier passes a busy
+// worker's deadline — or, as a real-time fallback, when all workers go
+// silent for stall_grace_ticks idle ticks — the batch range is reclaimed
+// into a pool and re-dispatched to healthy workers; repeated faults
+// quarantine the worker. Late reports for reclaimed batches are folded in
+// without double-counting examples, preserving the ledger invariant
+//   examples_dispatched == ledger.total_examples + examples_reclaimed.
+// Independently of the deadline layer, a non-finite evaluated loss rolls
+// the shared model back to the last finite-loss snapshot and backs the
+// learning rate off (or aborts the run, per config).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/adaptive.hpp"
 #include "core/config.hpp"
+#include "core/fault.hpp"
 #include "core/update_ledger.hpp"
 #include "core/utilization.hpp"
 #include "data/dataset.hpp"
@@ -58,9 +73,24 @@ class Coordinator final : public msg::Actor {
   double epochs_completed() const;
   double final_vtime() const { return ledger_.max_clock(); }
 
+  // Fault-tolerance accounting. The invariant
+  //   examples_dispatched() == ledger().total_examples() +
+  //   examples_reclaimed()
+  // holds at all times the coordinator thread is quiescent.
+  std::uint64_t examples_dispatched() const { return examples_dispatched_; }
+  std::uint64_t examples_reclaimed() const { return examples_reclaimed_; }
+  std::uint64_t late_reports() const { return late_reports_; }
+  std::uint64_t late_examples() const { return late_examples_; }
+  std::uint64_t rollbacks() const { return rollbacks_; }
+  std::uint64_t checkpoints_written() const { return checkpoints_written_; }
+  std::uint64_t quarantined_workers() const;
+  double lr_scale() const { return lr_scale_; }
+  bool diverged() const { return diverged_; }
+
  protected:
   bool handle(msg::Envelope envelope) override;
   void on_start() override;
+  bool on_idle() override;
 
  private:
   struct WorkerRuntime {
@@ -71,11 +101,24 @@ class Coordinator final : public msg::Actor {
     bool waiting = false;   // has an unserved work request
     bool finished = false;  // reached the time budget
     double est_completion = 0.0;
+
+    // --- fault-tolerance state ------------------------------------------
+    bool failed = false;       // actor reported a fatal fault / dead mailbox
+    bool quarantined = false;  // excluded from scheduling after repeats
+    std::int64_t fault_count = 0;  // consecutive faults (reset on report)
+    std::uint64_t dispatch_seq = 0;      // last issued sequence number
+    std::uint64_t reclaimed_through = 0; // sequences <= this were reclaimed
+    tensor::Index inflight_begin = 0;
+    tensor::Index inflight_size = 0;  // 0 = nothing in flight
+    double deadline_vtime = 0.0;      // virtual deadline of the dispatch
   };
 
   void on_schedule(const msg::ScheduleWork& report);
+  void on_worker_fault(const msg::WorkerFault& fault);
   void try_dispatch_all();
-  void dispatch(msg::WorkerId id);
+  // Dispatches [begin, begin+size) to `id` (fresh range or reclaimed).
+  void dispatch_range(msg::WorkerId id, tensor::Index begin,
+                      tensor::Index size, bool reclaimed);
   // Worker E's full batch size, clamped to one dataset pass.
   tensor::Index batch_for(msg::WorkerId id) const;
   double estimate_cost(const WorkerRuntime& w, tensor::Index batch) const;
@@ -83,10 +126,25 @@ class Coordinator final : public msg::Actor {
   void maybe_flip_epoch();
   void evaluate_loss(double vtime);
   void maybe_eval_checkpoints();
+  void maybe_auto_checkpoint();
   void begin_shutdown();
   bool any_busy() const;
   bool all_finished() const;
   double effective_window() const;
+
+  // --- self-healing helpers ---------------------------------------------
+  bool fault_layer_enabled() const { return config_.fault.deadline_factor > 0.0; }
+  bool schedulable(const WorkerRuntime& w) const {
+    return !w.failed && !w.quarantined && !w.finished;
+  }
+  // Returns the worker's in-flight range to the reclaim pool and advances
+  // reclaimed_through so its eventual report is treated as late.
+  void reclaim_inflight(msg::WorkerId id, double vtime,
+                        const std::string& why);
+  // Counts one coordinator-visible fault against the worker; quarantines
+  // past the configured threshold.
+  void note_fault(msg::WorkerId id, double vtime);
+  void handle_divergence(double vtime, double loss);
 
   data::Dataset& dataset_;
   nn::Model& model_;
@@ -115,6 +173,26 @@ class Coordinator final : public msg::Actor {
   Rng rng_;
   bool shutting_down_ = false;
   std::size_t shutdown_acks_ = 0;
+  std::size_t expected_acks_ = 0;
+  bool loop_done_ = false;
+
+  // --- self-healing state ------------------------------------------------
+  // Batch ranges lost to deadline misses / faults, awaiting re-dispatch.
+  // Invalidated (dropped) at epoch flips: they index the old permutation.
+  std::vector<std::pair<tensor::Index, tensor::Index>> reclaim_pool_;
+  std::uint64_t examples_dispatched_ = 0;
+  std::uint64_t examples_reclaimed_ = 0;
+  std::uint64_t late_reports_ = 0;
+  std::uint64_t late_examples_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+  std::int64_t idle_ticks_ = 0;
+  double lr_scale_ = 1.0;  // halved by each divergence rollback
+  bool diverged_ = false;  // aborted on non-finite loss per config
+  nn::Model last_good_model_;
+  double last_good_loss_ = 0.0;
+  bool has_last_good_ = false;
+  double next_checkpoint_vtime_ = 0.0;
 };
 
 }  // namespace hetsgd::core

@@ -59,8 +59,20 @@ double gpu_batch_seconds(const gpusim::PerfModel& perf,
   const auto shapes = mlp.layer_shapes();
   const std::uint64_t mbytes = model_bytes(mlp);
   double t = 0.0;
-  // Model upload (deep copy) + batch upload.
-  t += perf.transfer_seconds(mbytes);
+  // Model upload and gradient download happen as per-layer weight + bias
+  // copies, so each pays the link latency separately — on small models the
+  // latencies dominate the parameter bytes. (This must track DeviceMlp's
+  // actual charging: the coordinator's dispatch deadlines are multiples of
+  // this estimate, and a systematic under-estimate reads healthy workers
+  // as stragglers.)
+  for (const auto& s : shapes) {
+    const auto wbytes =
+        static_cast<std::uint64_t>(s.out) * s.in * sizeof(tensor::Scalar);
+    const auto bbytes = static_cast<std::uint64_t>(s.out) *
+                        sizeof(tensor::Scalar);
+    t += 2.0 * (perf.transfer_seconds(wbytes) + perf.transfer_seconds(bbytes));
+  }
+  // Batch (+labels) upload.
   t += perf.transfer_seconds(static_cast<std::uint64_t>(batch) *
                                  mlp.input_dim * sizeof(tensor::Scalar) +
                              static_cast<std::uint64_t>(batch) * 4);
@@ -72,10 +84,12 @@ double gpu_batch_seconds(const gpusim::PerfModel& perf,
     t += 3.0 * perf.elementwise_seconds(
                    static_cast<std::uint64_t>(batch) * s.out);
   }
-  // Loss kernel + gradient download + host-side merge into global model.
+  // Loss kernel + the loss scalar returning to the host + host-side merge
+  // into the global model. (The gradient download is charged per layer
+  // above, together with the model upload.)
   t += perf.elementwise_seconds(static_cast<std::uint64_t>(batch) *
                                 mlp.num_classes * 6);
-  t += perf.transfer_seconds(mbytes);
+  t += perf.transfer_seconds(sizeof(tensor::Scalar));
   if (host_merge_bandwidth > 0.0) {
     t += 2.0 * static_cast<double>(mbytes) / host_merge_bandwidth;
   }

@@ -1,7 +1,10 @@
 #include "core/cpu_worker.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
+#include <thread>
 
 #include "common/logging.hpp"
 #include "common/macros.hpp"
@@ -30,11 +33,12 @@ CpuWorker::CpuWorker(msg::WorkerId id, const TrainingConfig& config,
 
 bool CpuWorker::handle(msg::Envelope envelope) {
   if (std::holds_alternative<msg::ExecuteWork>(envelope.message)) {
-    execute(std::get<msg::ExecuteWork>(envelope.message));
-    return true;
+    return execute(std::get<msg::ExecuteWork>(envelope.message));
   }
   if (std::holds_alternative<msg::Shutdown>(envelope.message)) {
-    coordinator_.send({id_, msg::ShutdownAck{id_}});
+    if (!coordinator_.send({id_, msg::ShutdownAck{id_}})) {
+      HETSGD_LOG_WARN("cpu-worker", "shutdown ack dropped: mailbox closed");
+    }
     return false;
   }
   HETSGD_LOG_WARN("cpu-worker", "unexpected message variant %zu",
@@ -42,22 +46,61 @@ bool CpuWorker::handle(msg::Envelope envelope) {
   return true;
 }
 
-void CpuWorker::execute(const msg::ExecuteWork& work) {
+bool CpuWorker::on_handle_exception(const std::string& what) {
+  // Convert the escaped exception into a fault report; the coordinator
+  // reclaims our in-flight batch and quarantines this worker.
+  HETSGD_LOG_WARN("cpu-worker", "fault escalated: %s", what.c_str());
+  msg::WorkerFault fault;
+  fault.worker = id_;
+  fault.vtime = clock_.now();
+  fault.detail = what;
+  if (!coordinator_.send({id_, std::move(fault)})) {
+    HETSGD_LOG_WARN("cpu-worker", "fault report dropped: mailbox closed");
+  }
+  return false;
+}
+
+bool CpuWorker::execute(const msg::ExecuteWork& work) {
   const Index begin = static_cast<Index>(work.batch_begin);
   const Index size = static_cast<Index>(work.batch_size);
   HETSGD_ASSERT(size > 0, "empty batch assigned");
   HETSGD_ASSERT(begin + size <= dataset_.example_count(),
                 "batch out of dataset range");
 
+  // Epoch-boundary waits (not_before) appear as idle virtual time; faults
+  // trigger on the clock the batch actually starts at.
+  clock_.advance_to(work.not_before);
+  FaultPlan::StallState stall;
+  if (fault_plan_ != nullptr) {
+    if (fault_plan_->death_due(id_, clock_.now())) {
+      HETSGD_LOG_WARN("cpu-worker", "injected death at vtime %.6f",
+                      clock_.now());
+      return false;  // stop reporting — the actor is dead
+    }
+    stall = fault_plan_->stall(id_, clock_.now());
+    if (stall.sleep_ms > 0) {
+      // Real stall: visible to the coordinator's real-time grace fallback.
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall.sleep_ms));
+    }
+  }
+
   const int t = config_.cpu.sim_lanes;
   // Split B into t sub-batches of size B/t (Algorithm 2, CPU worker
   // handler). Tail batches (epoch remainders) may produce fewer sub-batches.
   const Index sub_batch = std::max<Index>(1, size / t);
   const Index num_sub = (size + sub_batch - 1) / sub_batch;
+  // The dispatched rate tracks config_.learning_rate except after a
+  // divergence rollback, when the coordinator backs it off; honor the
+  // ratio so the backoff reaches the capped effective rate too.
+  const double lr_scale =
+      (config_.learning_rate > 0.0 && work.learning_rate > 0.0)
+          ? work.learning_rate / config_.learning_rate
+          : 1.0;
   const double lr =
       config_.effective_lr(sub_batch) *
       nn::lr_multiplier(config_.lr_schedule,
-                        static_cast<double>(work.epoch));
+                        static_cast<double>(work.epoch)) *
+      lr_scale;
 
   // Hogwild: every lane reads the shared model, computes its sub-batch
   // gradient, and writes the update back with no synchronization.
@@ -78,12 +121,27 @@ void CpuWorker::execute(const msg::ExecuteWork& work) {
         }
       });
 
+  if (fault_plan_ != nullptr &&
+      fault_plan_->corruption_due(id_, clock_.now())) {
+    // Poison one lane's gradient with a NaN and apply it: the shared model
+    // goes non-finite exactly as a real numerically-diverged update would,
+    // exercising the coordinator's divergence rollback.
+    HETSGD_LOG_WARN("cpu-worker", "injected gradient corruption at vtime %.6f",
+                    clock_.now());
+    nn::Gradient& grad = gradients_[0];
+    if (grad.layer_count() > 0 && grad.layer(0).weights.size() > 0) {
+      grad.layer(0).weights.data()[0] =
+          std::numeric_limits<tensor::Scalar>::quiet_NaN();
+      optimizers_[0].step(model_, grad, static_cast<tensor::Scalar>(lr));
+    }
+  }
+
   // Virtual time: num_sub logical lanes at sub_batch each (waves beyond
-  // the simulated 56 threads are handled inside the cost model).
+  // the simulated 56 threads are handled inside the cost model). Stalls
+  // inflate the charged cost by the configured factor.
   const double cost = cpu_batch_seconds(perf_, config_.mlp, sub_batch,
-                                        static_cast<int>(num_sub));
-  // Epoch-boundary waits (not_before) appear as idle virtual time.
-  clock_.advance_to(work.not_before);
+                                        static_cast<int>(num_sub)) *
+                      stall.factor;
   clock_.advance(cost);
   busy_vtime_ += cost;
   updates_scaled_ += static_cast<double>(num_sub) * config_.beta;
@@ -92,10 +150,12 @@ void CpuWorker::execute(const msg::ExecuteWork& work) {
       std::min<int>(static_cast<int>(num_sub), perf_.spec().lanes),
       config_.cpu.host_threads, sub_batch,
       config_.cpu.max_examples_per_thread);
-  request_work(static_cast<std::uint64_t>(size), intensity);
+  request_work(static_cast<std::uint64_t>(size), intensity, work.sequence);
+  return true;
 }
 
-void CpuWorker::request_work(std::uint64_t examples, double intensity) {
+void CpuWorker::request_work(std::uint64_t examples, double intensity,
+                             std::uint64_t sequence) {
   msg::ScheduleWork req;
   req.worker = id_;
   req.updates = static_cast<std::uint64_t>(updates_scaled_);
@@ -103,7 +163,10 @@ void CpuWorker::request_work(std::uint64_t examples, double intensity) {
   req.clock_vtime = clock_.now();
   req.intensity = intensity;
   req.examples = examples;
-  coordinator_.send({id_, req});
+  req.sequence = sequence;
+  if (!coordinator_.send({id_, req})) {
+    HETSGD_LOG_WARN("cpu-worker", "work report dropped: mailbox closed");
+  }
 }
 
 }  // namespace hetsgd::core

@@ -16,6 +16,7 @@
 
 #include "concurrent/thread_pool.hpp"
 #include "core/config.hpp"
+#include "core/fault.hpp"
 #include "data/dataset.hpp"
 #include "gpusim/perf_model.hpp"
 #include "gpusim/virtual_clock.hpp"
@@ -33,12 +34,20 @@ class CpuWorker final : public msg::Actor {
   msg::WorkerId id() const { return id_; }
   const gpusim::PerfModel& perf() const { return perf_; }
 
+  // Attaches a fault-injection plan (shared, thread-safe). Call before
+  // start(); nullptr = no injections.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
  protected:
   bool handle(msg::Envelope envelope) override;
+  bool on_handle_exception(const std::string& what) override;
 
  private:
-  void execute(const msg::ExecuteWork& work);
-  void request_work(std::uint64_t examples, double intensity);
+  // Returns false when an injected death fires: the actor exits its loop
+  // without reporting, exactly like a crashed worker.
+  bool execute(const msg::ExecuteWork& work);
+  void request_work(std::uint64_t examples, double intensity,
+                    std::uint64_t sequence);
 
   msg::WorkerId id_;
   const TrainingConfig& config_;
@@ -46,6 +55,7 @@ class CpuWorker final : public msg::Actor {
   nn::Model& model_;  // the shared global model (reference replica)
   msg::Actor& coordinator_;
   gpusim::PerfModel perf_;
+  FaultPlan* fault_plan_ = nullptr;
   gpusim::VirtualClock clock_;
   double busy_vtime_ = 0.0;
   // beta-weighted update count; reported to the coordinator as floor().

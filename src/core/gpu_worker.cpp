@@ -1,6 +1,9 @@
 #include "core/gpu_worker.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
 
 #include "common/logging.hpp"
 #include "common/macros.hpp"
@@ -26,11 +29,12 @@ GpuWorker::GpuWorker(msg::WorkerId id, const TrainingConfig& config,
 
 bool GpuWorker::handle(msg::Envelope envelope) {
   if (std::holds_alternative<msg::ExecuteWork>(envelope.message)) {
-    execute(std::get<msg::ExecuteWork>(envelope.message));
-    return true;
+    return execute(std::get<msg::ExecuteWork>(envelope.message));
   }
   if (std::holds_alternative<msg::Shutdown>(envelope.message)) {
-    coordinator_.send({id_, msg::ShutdownAck{id_}});
+    if (!coordinator_.send({id_, msg::ShutdownAck{id_}})) {
+      HETSGD_LOG_WARN("gpu-worker", "shutdown ack dropped: mailbox closed");
+    }
     return false;
   }
   HETSGD_LOG_WARN("gpu-worker", "unexpected message variant %zu",
@@ -38,7 +42,21 @@ bool GpuWorker::handle(msg::Envelope envelope) {
   return true;
 }
 
-void GpuWorker::execute(const msg::ExecuteWork& work) {
+bool GpuWorker::on_handle_exception(const std::string& what) {
+  // Retries are exhausted (or an unexpected exception escaped): report the
+  // fault so the coordinator reclaims our in-flight batch.
+  HETSGD_LOG_WARN("gpu-worker", "fault escalated: %s", what.c_str());
+  msg::WorkerFault fault;
+  fault.worker = id_;
+  fault.vtime = clock_.now();
+  fault.detail = what;
+  if (!coordinator_.send({id_, std::move(fault)})) {
+    HETSGD_LOG_WARN("gpu-worker", "fault report dropped: mailbox closed");
+  }
+  return false;
+}
+
+bool GpuWorker::execute(const msg::ExecuteWork& work) {
   const Index begin = static_cast<Index>(work.batch_begin);
   const Index size = static_cast<Index>(work.batch_size);
   HETSGD_ASSERT(size > 0, "empty batch assigned");
@@ -47,34 +65,99 @@ void GpuWorker::execute(const msg::ExecuteWork& work) {
   HETSGD_ASSERT(size <= config_.gpu.max_batch, "batch exceeds device buffers");
 
   clock_.advance_to(work.not_before);
+  FaultPlan::StallState stall;
+  if (fault_plan_ != nullptr) {
+    if (fault_plan_->death_due(id_, clock_.now())) {
+      HETSGD_LOG_WARN("gpu-worker", "injected death at vtime %.6f",
+                      clock_.now());
+      return false;  // stop reporting — the actor is dead
+    }
+    stall = fault_plan_->stall(id_, clock_.now());
+    if (stall.sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall.sleep_ms));
+    }
+    const std::int64_t transfer_faults =
+        fault_plan_->transfer_failures_due(id_, clock_.now());
+    if (transfer_faults > 0) {
+      HETSGD_LOG_WARN("gpu-worker", "injecting %lld transfer fault(s)",
+                      static_cast<long long>(transfer_faults));
+      device_.inject_transfer_faults(transfer_faults);
+    }
+  }
+
   const double issue = clock_.now();
-
-  // Deep-copy the current global model into the device replica. The reads
-  // race with concurrent CPU-lane updates — Hogwild semantics extend
-  // across the PCIe boundary. The host-side snapshot is kept to measure
-  // how stale the replica became by merge time.
-  upload_snapshot_ = model_;
-  device_mlp_->upload_model(upload_snapshot_, issue);
-
   auto x = dataset_.batch_features(begin, size);
   auto y = dataset_.batch_labels(begin, size);
   double done = issue;
-  device_mlp_->compute_gradient(x, y, issue, &done);
-  done = device_mlp_->download_gradient(host_gradient_, issue);
+
+  // The upload/compute/download round trip is retried as a unit on
+  // transient transfer failures, with capped exponential backoff charged to
+  // virtual time (the modeled driver re-issuing the copy). Past
+  // max_transfer_retries the error escapes handle(): the actor framework
+  // turns it into a WorkerFault report via on_handle_exception.
+  const std::int64_t max_retries =
+      std::max<std::int64_t>(0, config_.fault.max_transfer_retries);
+  for (std::int64_t attempt = 0;; ++attempt) {
+    try {
+      // Deep-copy the current global model into the device replica. The
+      // reads race with concurrent CPU-lane updates — Hogwild semantics
+      // extend across the PCIe boundary. The host-side snapshot is kept to
+      // measure how stale the replica became by merge time.
+      upload_snapshot_ = model_;
+      device_mlp_->upload_model(upload_snapshot_, clock_.now());
+      done = clock_.now();
+      device_mlp_->compute_gradient(x, y, clock_.now(), &done);
+      done = device_mlp_->download_gradient(host_gradient_, clock_.now());
+      break;
+    } catch (const gpusim::TransferError& e) {
+      if (attempt >= max_retries) throw;  // escalate to the coordinator
+      ++transfer_retries_;
+      const int shift = static_cast<int>(std::min<std::int64_t>(attempt, 10));
+      const double backoff = config_.fault.transfer_backoff_vseconds *
+                             static_cast<double>(std::int64_t{1} << shift);
+      HETSGD_LOG_WARN("gpu-worker",
+                      "transfer failed (%s); retry %lld/%lld after %.2e vs",
+                      e.what(), static_cast<long long>(attempt + 1),
+                      static_cast<long long>(max_retries), backoff);
+      clock_.advance(backoff);
+    }
+  }
+
+  if (fault_plan_ != nullptr &&
+      fault_plan_->corruption_due(id_, clock_.now())) {
+    // Poison the downloaded gradient: the merge below drives the shared
+    // model non-finite, exercising the coordinator's divergence rollback.
+    HETSGD_LOG_WARN("gpu-worker", "injected gradient corruption at vtime %.6f",
+                    clock_.now());
+    if (host_gradient_.layer_count() > 0 &&
+        host_gradient_.layer(0).weights.size() > 0) {
+      host_gradient_.layer(0).weights.data()[0] =
+          std::numeric_limits<tensor::Scalar>::quiet_NaN();
+    }
+  }
 
   // Merge into the shared global model on the host (gradient-push
   // integration, applied asynchronously at the worker).
   const double staleness =
       static_cast<double>(model_.max_abs_diff(upload_snapshot_));
+  const double lr_scale =
+      (config_.learning_rate > 0.0 && work.learning_rate > 0.0)
+          ? work.learning_rate / config_.learning_rate
+          : 1.0;
   const double lr =
       config_.effective_lr(size) *
       nn::lr_multiplier(config_.lr_schedule,
-                        static_cast<double>(work.epoch));
+                        static_cast<double>(work.epoch)) *
+      lr_scale;
   optimizer_.step(model_, host_gradient_, static_cast<tensor::Scalar>(lr));
   if (config_.gpu.host_merge_bandwidth > 0.0) {
     done += 2.0 * static_cast<double>(model_bytes(config_.mlp)) /
             config_.gpu.host_merge_bandwidth;
   }
+
+  // Stalls inflate the compute span (issue -> done) by the configured
+  // factor; backoff time already advanced the clock directly.
+  done = issue + (done - issue) * stall.factor;
 
   clock_.advance_to(done);
   busy_vtime_ += clock_.now() - issue;
@@ -88,7 +171,11 @@ void GpuWorker::execute(const msg::ExecuteWork& work) {
   req.intensity = device_.perf().utilization(static_cast<double>(size));
   req.examples = static_cast<std::uint64_t>(size);
   req.staleness = staleness;
-  coordinator_.send({id_, req});
+  req.sequence = work.sequence;
+  if (!coordinator_.send({id_, req})) {
+    HETSGD_LOG_WARN("gpu-worker", "work report dropped: mailbox closed");
+  }
+  return true;
 }
 
 }  // namespace hetsgd::core

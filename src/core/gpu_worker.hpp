@@ -6,12 +6,18 @@
 // forward/backward kernel sequence on a stream, downloads the gradient,
 // and merges it into the shared global model on the host — asynchronously
 // with respect to the CPU worker's concurrent Hogwild updates.
+//
+// Transient device-transfer failures (injected through the FaultPlan, or
+// any gpusim::TransferError) are retried locally with capped exponential
+// virtual-time backoff; only when retries are exhausted does the worker
+// escalate to the coordinator with a WorkerFault.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "core/config.hpp"
+#include "core/fault.hpp"
 #include "data/dataset.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/virtual_clock.hpp"
@@ -31,11 +37,21 @@ class GpuWorker final : public msg::Actor {
   const gpusim::Device& device() const { return device_; }
   const gpusim::PerfModel& perf() const { return device_.perf(); }
 
+  // Attaches a fault-injection plan (shared, thread-safe). Call before
+  // start(); nullptr = no injections.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+  // Transfer retries performed so far (diagnostics / tests).
+  std::uint64_t transfer_retries() const { return transfer_retries_; }
+
  protected:
   bool handle(msg::Envelope envelope) override;
+  bool on_handle_exception(const std::string& what) override;
 
  private:
-  void execute(const msg::ExecuteWork& work);
+  // Returns false when an injected death fires: the actor exits its loop
+  // without reporting, exactly like a crashed worker.
+  bool execute(const msg::ExecuteWork& work);
 
   msg::WorkerId id_;
   const TrainingConfig& config_;
@@ -49,9 +65,11 @@ class GpuWorker final : public msg::Actor {
   // Host-side snapshot of the model at upload time; compared against the
   // live model at merge time to measure replica staleness (§VI-B).
   nn::Model upload_snapshot_;
+  FaultPlan* fault_plan_ = nullptr;
   gpusim::VirtualClock clock_;
   double busy_vtime_ = 0.0;
   std::uint64_t updates_ = 0;
+  std::uint64_t transfer_retries_ = 0;
 };
 
 }  // namespace hetsgd::core

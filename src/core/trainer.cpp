@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <thread>
 
+#include "common/csv_writer.hpp"
+#include "common/logging.hpp"
 #include "common/macros.hpp"
 #include "common/timer.hpp"
 #include "core/cpu_worker.hpp"
@@ -29,6 +32,19 @@ double TrainingResult::time_to_loss(double target) const {
     if (p.loss <= target) return p.vtime;
   }
   return std::numeric_limits<double>::infinity();
+}
+
+void write_fault_events_csv(const TrainingResult& result,
+                            const std::string& path) {
+  CsvWriter csv(path, {"vtime", "worker", "kind", "reclaimed_examples",
+                       "detail"});
+  for (const auto& e : result.fault_events) {
+    csv.row(std::vector<std::string>{
+        std::to_string(e.vtime), std::to_string(e.worker),
+        fault_kind_name(e.kind), std::to_string(e.reclaimed_examples),
+        e.detail});
+  }
+  csv.flush();
 }
 
 Trainer::Trainer(data::Dataset dataset, TrainingConfig config,
@@ -73,6 +89,28 @@ TrainingResult Trainer::run_framework() {
   Rng rng(config_.seed);
   nn::Model model(config_.mlp, rng);
 
+  // Fault-injection plan: parsed from the config spec, shared (thread-safe)
+  // with every worker. Must outlive the workers below.
+  FaultPlan fault_plan;
+  if (!config_.fault.plan.empty()) {
+    std::string error;
+    const bool ok =
+        FaultPlan::parse(config_.fault.plan, config_.seed, &fault_plan, &error);
+    HETSGD_ASSERT(ok, "invalid --fault-plan spec");
+    fault_plan.resolve_times(config_.time_budget_vseconds);
+    // A death or stall injection without the detection layer would hang the
+    // run: the coordinator would wait forever on a worker that never
+    // reports. Force a sane deadline factor rather than deadlock.
+    if (config_.fault.deadline_factor <= 0.0 &&
+        (fault_plan.contains(FaultKind::kDeath) ||
+         fault_plan.contains(FaultKind::kStall))) {
+      HETSGD_LOG_WARN("trainer",
+                      "fault plan injects stalls/deaths but the deadline "
+                      "layer is off; enabling --fault-deadline-factor 3");
+      config_.fault.deadline_factor = 3.0;
+    }
+  }
+
   Coordinator coordinator(working, model, config_, options_.eval_sample);
 
   std::unique_ptr<CpuWorker> cpu_worker;
@@ -91,6 +129,7 @@ TrainingResult Trainer::run_framework() {
     cpu_worker = std::make_unique<CpuWorker>(next_id, config_, working, model,
                                              coordinator,
                                              config_.real_threads);
+    if (!fault_plan.empty()) cpu_worker->set_fault_plan(&fault_plan);
     coordinator.add_worker(*cpu_worker, gpusim::DeviceKind::kCpu, limits);
     ++next_id;
   }
@@ -109,6 +148,9 @@ TrainingResult Trainer::run_framework() {
     for (int g = 0; g < gpus; ++g) {
       gpu_workers.push_back(std::make_unique<GpuWorker>(
           next_id, config_, working, model, coordinator, g));
+      if (!fault_plan.empty()) {
+        gpu_workers.back()->set_fault_plan(&fault_plan);
+      }
       coordinator.add_worker(*gpu_workers.back(), gpusim::DeviceKind::kGpu,
                              limits);
       ++next_id;
@@ -150,6 +192,25 @@ TrainingResult Trainer::run_framework() {
     w.segments = coordinator.monitor().segments(stats.id);
     result.workers.push_back(std::move(w));
   }
+  // Merge the fault log: worker-side injections (from the plan) plus
+  // coordinator-side detections/recoveries (from the ledger), time-sorted.
+  result.fault_events = fault_plan.fired();
+  const auto& detected = coordinator.ledger().fault_records();
+  result.fault_events.insert(result.fault_events.end(), detected.begin(),
+                             detected.end());
+  std::stable_sort(result.fault_events.begin(), result.fault_events.end(),
+                   [](const FaultRecord& a, const FaultRecord& b) {
+                     return a.vtime < b.vtime;
+                   });
+  result.examples_dispatched = coordinator.examples_dispatched();
+  result.examples_reclaimed = coordinator.examples_reclaimed();
+  result.late_examples = coordinator.late_examples();
+  result.rollbacks = coordinator.rollbacks();
+  result.quarantined_workers = coordinator.quarantined_workers();
+  result.checkpoints_written = coordinator.checkpoints_written();
+  result.final_lr_scale = coordinator.lr_scale();
+  result.diverged = coordinator.diverged();
+
   fill_curve_stats(result);
   result.wall_seconds = timer.elapsed_seconds();
   return result;

@@ -11,6 +11,7 @@
 
 #include "core/config.hpp"
 #include "core/coordinator.hpp"
+#include "core/fault.hpp"
 #include "core/update_ledger.hpp"
 #include "core/utilization.hpp"
 #include "data/dataset.hpp"
@@ -46,11 +47,30 @@ struct TrainingResult {
   std::vector<WorkerSummary> workers;
   double wall_seconds = 0.0;  // real time the run took on this host
 
+  // --- fault / recovery outcome (framework algorithms only) --------------
+  // Every injected and detected fault of the run, merged from the
+  // FaultPlan (injections) and the coordinator (detections/recoveries),
+  // sorted by virtual time.
+  std::vector<FaultRecord> fault_events;
+  std::uint64_t examples_dispatched = 0;
+  std::uint64_t examples_reclaimed = 0;  // lost to deadline misses/faults
+  std::uint64_t late_examples = 0;       // reported after reclamation
+  std::uint64_t rollbacks = 0;           // divergence rollbacks performed
+  std::uint64_t quarantined_workers = 0;
+  std::uint64_t checkpoints_written = 0;
+  double final_lr_scale = 1.0;  // product of divergence lr backoffs
+  bool diverged = false;        // run aborted on non-finite loss
+
   // Loss at the given virtual time (step-wise interpolation of the curve).
   double loss_at(double vtime) const;
   // First virtual time at which the loss reached `target` (inf if never).
   double time_to_loss(double target) const;
 };
+
+// Writes the run's fault/recovery event log as CSV
+// (vtime,worker,kind,reclaimed_examples,detail). Aborts on I/O failure.
+void write_fault_events_csv(const TrainingResult& result,
+                            const std::string& path);
 
 struct TrainerOptions {
   // Examples sampled for loss tracking (0 = full dataset).

@@ -48,6 +48,21 @@ void UpdateLedger::on_report(const msg::ScheduleWork& report) {
   }
 }
 
+void UpdateLedger::on_late_report(const msg::ScheduleWork& report) {
+  WorkerStats& s = stats(report.worker);
+  HETSGD_ASSERT(report.updates >= s.updates,
+                "update counts must be monotone");
+  HETSGD_ASSERT(report.clock_vtime >= s.clock, "worker clock went backwards");
+  s.updates = report.updates;
+  s.busy_vtime = report.busy_vtime;
+  s.clock = report.clock_vtime;
+  // examples/batches deliberately untouched: the range was reclaimed.
+}
+
+void UpdateLedger::record_fault(FaultRecord record) {
+  faults_.push_back(std::move(record));
+}
+
 std::uint64_t UpdateLedger::total_updates() const {
   std::uint64_t total = 0;
   for (const auto& w : workers_) total += w.updates;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "gpusim/perf_model.hpp"
 #include "msg/message.hpp"
 #include "tensor/types.hpp"
@@ -54,6 +55,19 @@ class UpdateLedger {
   // Folds a completed-batch report into the ledger.
   void on_report(const msg::ScheduleWork& report);
 
+  // Folds a *late* report — one whose batch was already reclaimed after a
+  // deadline miss. Clocks, update counts, and utilization advance (the
+  // Hogwild updates really happened), but examples/batches do NOT: the
+  // reclaimed range was re-dispatched elsewhere and counting it twice
+  // would break `dispatched == reported + reclaimed`.
+  void on_late_report(const msg::ScheduleWork& report);
+
+  // --- fault / recovery event log ---------------------------------------
+  // Coordinator-side detections and recovery actions, in detection order;
+  // injections recorded by the FaultPlan are merged in by the Trainer.
+  void record_fault(FaultRecord record);
+  const std::vector<FaultRecord>& fault_records() const { return faults_; }
+
   std::uint64_t total_updates() const;
   std::uint64_t total_examples() const;
   std::uint64_t updates_by_kind(gpusim::DeviceKind kind) const;
@@ -70,6 +84,7 @@ class UpdateLedger {
 
  private:
   std::vector<WorkerStats> workers_;
+  std::vector<FaultRecord> faults_;
 };
 
 }  // namespace hetsgd::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "common/macros.hpp"
 
@@ -22,10 +23,19 @@ DeviceMatrix Device::alloc(tensor::Index rows, tensor::Index cols) {
   return DeviceMatrix(&allocator_, rows, cols);
 }
 
+void Device::check_transfer_fault(const char* direction) {
+  if (pending_transfer_faults_ <= 0) return;
+  --pending_transfer_faults_;
+  ++failed_transfer_count_;
+  throw TransferError(std::string("injected transfer fault (") + direction +
+                      ")");
+}
+
 double Device::copy_to_device(tensor::ConstMatrixView host, DeviceMatrix& dst,
                               Stream& stream, double issue_time) {
   HETSGD_ASSERT(host.rows() == dst.rows() && host.cols() == dst.cols(),
                 "H2D copy shape mismatch");
+  check_transfer_fault("H2D");
   auto dv = dst.device_view();
   std::memcpy(dv.data(), host.data(),
               static_cast<std::size_t>(host.size()) * sizeof(tensor::Scalar));
@@ -38,6 +48,7 @@ double Device::copy_to_host(const DeviceMatrix& src, tensor::MatrixView host,
                             Stream& stream, double issue_time) {
   HETSGD_ASSERT(host.rows() == src.rows() && host.cols() == src.cols(),
                 "D2H copy shape mismatch");
+  check_transfer_fault("D2H");
   auto sv = src.device_view();
   std::memcpy(host.data(), sv.data(),
               static_cast<std::size_t>(host.size()) * sizeof(tensor::Scalar));

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "gpusim/device_memory.hpp"
@@ -24,6 +25,16 @@
 #include "tensor/ops.hpp"
 
 namespace hetsgd::gpusim {
+
+// A failed host<->device transfer (the simulated analog of a CUDA
+// cudaErrorUnknown / bus error on cudaMemcpy). Thrown by the copy_* entry
+// points when a fault has been injected; workers retry with backoff and
+// escalate to the coordinator when retries are exhausted.
+class TransferError : public std::runtime_error {
+ public:
+  explicit TransferError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 class Device {
  public:
@@ -114,13 +125,32 @@ class Device {
   std::uint64_t transfer_count() const { return transfer_count_; }
   std::uint64_t bytes_transferred() const { return bytes_transferred_; }
 
+  // --- fault injection ---------------------------------------------------
+  // Makes the next `count` copy_to_device/copy_to_host calls throw
+  // TransferError (transient link failure). Called from the owning worker
+  // thread only — the device is single-owner by design.
+  void inject_transfer_faults(std::int64_t count) {
+    pending_transfer_faults_ += count;
+  }
+  std::int64_t pending_transfer_faults() const {
+    return pending_transfer_faults_;
+  }
+  std::uint64_t failed_transfer_count() const {
+    return failed_transfer_count_;
+  }
+
  private:
+  // Throws if a transfer fault is pending; consumes one injection.
+  void check_transfer_fault(const char* direction);
+
   PerfModel perf_;
   DeviceAllocator allocator_;
   std::vector<std::unique_ptr<Stream>> streams_;
   std::uint64_t kernel_count_ = 0;
   std::uint64_t transfer_count_ = 0;
   std::uint64_t bytes_transferred_ = 0;
+  std::int64_t pending_transfer_faults_ = 0;
+  std::uint64_t failed_transfer_count_ = 0;
 };
 
 }  // namespace hetsgd::gpusim

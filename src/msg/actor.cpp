@@ -1,5 +1,6 @@
 #include "msg/actor.hpp"
 
+#include <exception>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -30,12 +31,37 @@ bool Actor::send(Envelope envelope) {
   return mailbox_.push(std::move(envelope));
 }
 
+bool Actor::on_handle_exception(const std::string& what) {
+  HETSGD_LOG_WARN(name_.c_str(), "message handler threw: %s", what.c_str());
+  return false;
+}
+
 void Actor::run() {
   on_start();
-  while (auto envelope = mailbox_.pop()) {
-    if (!handle(std::move(*envelope))) {
-      break;
+  for (;;) {
+    std::optional<Envelope> envelope;
+    if (idle_interval_.count() > 0) {
+      envelope = mailbox_.pop_for(idle_interval_);
+      if (!envelope) {
+        if (mailbox_.closed()) break;
+        if (!on_idle()) break;  // idle tick asked to stop
+        continue;
+      }
+    } else {
+      envelope = mailbox_.pop();
+      if (!envelope) break;
     }
+    // A throwing handler must not std::terminate the process: faults are
+    // data, not death. The hook decides whether the loop survives.
+    bool keep_running = true;
+    try {
+      keep_running = handle(std::move(*envelope));
+    } catch (const std::exception& e) {
+      keep_running = on_handle_exception(e.what());
+    } catch (...) {
+      keep_running = on_handle_exception("non-std exception");
+    }
+    if (!keep_running) break;
   }
   mailbox_.close();
   on_stop();

@@ -8,6 +8,7 @@
 // shared memory references.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <thread>
 
@@ -43,6 +44,24 @@ class Actor {
   virtual void on_start() {}
   virtual void on_stop() {}
 
+  // Called on the actor thread when a handle() call throws instead of
+  // returning — the loop catches the exception rather than letting it
+  // reach std::terminate. Return true to keep processing messages, false
+  // to exit the loop (the default: log and stop). Workers override this to
+  // convert the exception into a WorkerFault report for the coordinator.
+  virtual bool on_handle_exception(const std::string& what);
+
+  // Periodic callback when the mailbox has been idle for one tick of
+  // set_idle_interval(). Return false to exit the loop. Lets the
+  // coordinator run real-time deadline checks even when every worker has
+  // gone silent. Never called unless an interval was set.
+  virtual bool on_idle() { return true; }
+
+  // Enables on_idle() ticks. Call before start().
+  void set_idle_interval(std::chrono::milliseconds interval) {
+    idle_interval_ = interval;
+  }
+
  private:
   void run();
 
@@ -50,6 +69,7 @@ class Actor {
   concurrent::MpscQueue<Envelope> mailbox_;
   std::thread thread_;
   bool started_ = false;
+  std::chrono::milliseconds idle_interval_{0};
 };
 
 }  // namespace hetsgd::msg

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <variant>
 
 namespace hetsgd::msg {
@@ -36,6 +37,10 @@ struct ScheduleWork {
   // over all parameters of the shared model (GPU workers only; §VI-B
   // "merging a local stale replica requires careful consideration").
   double staleness = 0.0;
+  // Dispatch sequence number echoed from the completed ExecuteWork
+  // (0 = no completed work). Lets the coordinator recognize late reports
+  // for batches it already reclaimed after a deadline miss.
+  std::uint64_t sequence = 0;
 };
 
 // Coordinator -> worker: "process examples [batch_begin, batch_begin+batch_size)
@@ -49,6 +54,20 @@ struct ExecuteWork {
   // idle time: a worker that waited for the epoch barrier resumes at the
   // barrier's virtual time, not at its own stale clock).
   double not_before = 0.0;
+  // Per-worker dispatch sequence number (1-based), echoed back in the
+  // completion report for deadline/reclamation bookkeeping.
+  std::uint64_t sequence = 0;
+};
+
+// Worker -> coordinator: "I hit a fault I cannot recover from locally"
+// (e.g. device transfers still failing after capped-backoff retries, or an
+// exception escaping the message handler). The coordinator reclaims the
+// worker's in-flight batch and quarantines it.
+struct WorkerFault {
+  WorkerId worker = 0;
+  // Worker's logical clock when the fault surfaced.
+  double vtime = 0.0;
+  std::string detail;
 };
 
 // Coordinator -> worker: drain and exit the message loop.
@@ -60,7 +79,8 @@ struct ShutdownAck {
   WorkerId worker = 0;
 };
 
-using Message = std::variant<ScheduleWork, ExecuteWork, Shutdown, ShutdownAck>;
+using Message =
+    std::variant<ScheduleWork, ExecuteWork, Shutdown, ShutdownAck, WorkerFault>;
 
 // A message plus its sender.
 struct Envelope {

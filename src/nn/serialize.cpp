@@ -12,6 +12,11 @@ namespace {
 
 constexpr char kMagic[4] = {'H', 'S', 'G', 'D'};
 
+// Upper bound on any single checkpoint dimension. Garbage headers must not
+// turn into multi-terabyte allocations before the shape check can reject
+// them.
+constexpr std::int64_t kMaxDim = 1 << 24;
+
 void write_u32(std::ofstream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -20,18 +25,14 @@ void write_i64(std::ofstream& out, std::int64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-std::uint32_t read_u32(std::ifstream& in) {
-  std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  HETSGD_ASSERT(in.good(), "checkpoint truncated");
-  return v;
+bool read_u32(std::ifstream& in, std::uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
 }
 
-std::int64_t read_i64(std::ifstream& in) {
-  std::int64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  HETSGD_ASSERT(in.good(), "checkpoint truncated");
-  return v;
+bool read_i64(std::ifstream& in, std::int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
 }
 
 void write_matrix(std::ofstream& out, const tensor::Matrix& m) {
@@ -41,14 +42,24 @@ void write_matrix(std::ofstream& out, const tensor::Matrix& m) {
             static_cast<std::streamsize>(m.size() * sizeof(tensor::Scalar)));
 }
 
-void read_matrix(std::ifstream& in, tensor::Matrix& m) {
-  const tensor::Index rows = read_i64(in);
-  const tensor::Index cols = read_i64(in);
-  HETSGD_ASSERT(rows == m.rows() && cols == m.cols(),
-                "checkpoint layer shape mismatch");
+bool read_matrix(std::ifstream& in, tensor::Matrix& m, std::string* error) {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  if (!read_i64(in, &rows) || !read_i64(in, &cols)) {
+    if (error) *error = "checkpoint truncated (layer header)";
+    return false;
+  }
+  if (rows != m.rows() || cols != m.cols()) {
+    if (error) *error = "checkpoint layer shape mismatch";
+    return false;
+  }
   in.read(reinterpret_cast<char*>(m.data()),
           static_cast<std::streamsize>(m.size() * sizeof(tensor::Scalar)));
-  HETSGD_ASSERT(in.good(), "checkpoint truncated");
+  if (!in.good()) {
+    if (error) *error = "checkpoint truncated (layer data)";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -76,36 +87,87 @@ void save_model(const Model& model, const std::string& path) {
   HETSGD_ASSERT(out.good(), "checkpoint write failed");
 }
 
-Model load_model(const std::string& path) {
+std::optional<Model> try_load_model(const std::string& path,
+                                    std::string* error) {
   std::ifstream in(path, std::ios::binary);
-  HETSGD_ASSERT(in.good(), "cannot open checkpoint for reading");
+  if (!in.good()) {
+    if (error) *error = "cannot open checkpoint for reading: " + path;
+    return std::nullopt;
+  }
   char magic[4] = {};
   in.read(magic, sizeof(magic));
-  HETSGD_ASSERT(in.good() && std::memcmp(magic, kMagic, 4) == 0,
-                "not a hetsgd checkpoint (bad magic)");
-  const std::uint32_t version = read_u32(in);
-  HETSGD_ASSERT(version == kCheckpointVersion,
-                "unsupported checkpoint version");
+  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0) {
+    if (error) *error = "not a hetsgd checkpoint (bad magic)";
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  if (!read_u32(in, &version)) {
+    if (error) *error = "checkpoint truncated (version)";
+    return std::nullopt;
+  }
+  if (version != kCheckpointVersion) {
+    if (error) {
+      *error = "unsupported checkpoint version " + std::to_string(version);
+    }
+    return std::nullopt;
+  }
 
   MlpConfig c;
-  c.input_dim = read_i64(in);
-  c.num_classes = read_i64(in);
-  c.hidden_layers = static_cast<int>(read_u32(in));
-  c.hidden_units = read_i64(in);
-  c.hidden_activation = static_cast<Activation>(read_u32(in));
-  c.init = static_cast<InitScheme>(read_u32(in));
-  c.validate();
+  std::uint32_t hidden_layers = 0;
+  std::uint32_t activation = 0;
+  std::uint32_t init = 0;
+  std::int64_t input_dim = 0;
+  std::int64_t num_classes = 0;
+  std::int64_t hidden_units = 0;
+  if (!read_i64(in, &input_dim) || !read_i64(in, &num_classes) ||
+      !read_u32(in, &hidden_layers) || !read_i64(in, &hidden_units) ||
+      !read_u32(in, &activation) || !read_u32(in, &init)) {
+    if (error) *error = "checkpoint truncated (header)";
+    return std::nullopt;
+  }
+  // Sanity-check the header before trusting it with allocations:
+  // MlpConfig::validate() aborts, and a corrupted size field could demand
+  // terabytes. Everything here must fail soft.
+  if (input_dim <= 0 || input_dim > kMaxDim || num_classes < 2 ||
+      num_classes > kMaxDim || hidden_layers > 1024 ||
+      (hidden_layers > 0 && (hidden_units <= 0 || hidden_units > kMaxDim)) ||
+      activation > static_cast<std::uint32_t>(Activation::kRelu) ||
+      init > static_cast<std::uint32_t>(InitScheme::kZero)) {
+    if (error) *error = "checkpoint header is implausible (corrupt file?)";
+    return std::nullopt;
+  }
+  c.input_dim = input_dim;
+  c.num_classes = num_classes;
+  c.hidden_layers = static_cast<int>(hidden_layers);
+  c.hidden_units = hidden_units;
+  c.hidden_activation = static_cast<Activation>(activation);
+  c.init = static_cast<InitScheme>(init);
 
   Rng rng(0);  // placeholder init, immediately overwritten
   Model model(c, rng);
-  const std::uint32_t layers = read_u32(in);
-  HETSGD_ASSERT(layers == model.layer_count(),
-                "checkpoint layer count mismatch");
+  std::uint32_t layers = 0;
+  if (!read_u32(in, &layers)) {
+    if (error) *error = "checkpoint truncated (layer count)";
+    return std::nullopt;
+  }
+  if (layers != model.layer_count()) {
+    if (error) *error = "checkpoint layer count mismatch";
+    return std::nullopt;
+  }
   for (std::size_t l = 0; l < model.layer_count(); ++l) {
-    read_matrix(in, model.layer(l).weights);
-    read_matrix(in, model.layer(l).bias);
+    if (!read_matrix(in, model.layer(l).weights, error) ||
+        !read_matrix(in, model.layer(l).bias, error)) {
+      return std::nullopt;
+    }
   }
   return model;
+}
+
+Model load_model(const std::string& path) {
+  std::string error;
+  std::optional<Model> model = try_load_model(path, &error);
+  HETSGD_ASSERT(model.has_value(), error.c_str());
+  return std::move(*model);
 }
 
 }  // namespace hetsgd::nn

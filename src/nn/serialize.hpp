@@ -5,6 +5,7 @@
 // data. Endianness follows the host (checkpoints are not a wire format).
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "nn/model.hpp"
@@ -15,8 +16,16 @@ namespace hetsgd::nn {
 // failure.
 void save_model(const Model& model, const std::string& path);
 
-// Reads a checkpoint written by save_model. Aborts on a missing file,
-// bad magic, unsupported version, or truncated data.
+// Reads a checkpoint written by save_model. Returns std::nullopt — never
+// aborts — on a missing file, bad magic, unsupported version, implausible
+// header fields, or truncated data; when `error` is non-null it receives a
+// human-readable reason. Recovery paths (auto-checkpoint restore after a
+// crash) must be able to survive a corrupt file.
+std::optional<Model> try_load_model(const std::string& path,
+                                    std::string* error = nullptr);
+
+// Reads a checkpoint written by save_model. Aborts on any load failure —
+// the convenience wrapper for tools where a bad checkpoint is fatal.
 Model load_model(const std::string& path);
 
 // Current checkpoint format version.
