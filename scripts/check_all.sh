@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# The zero-warning gate (DESIGN.md §10): every static and dynamic check the
+# concurrency contract depends on, in one command. CI runs exactly this;
+# run it locally before sending a PR.
+#
+# Gates, in order (each prints PASS/SKIP and the script fails on the first
+# failure):
+#   1. gcc/default build, -Werror, full ctest        (tier-1, always)
+#   2. clang build with -Wthread-safety -Werror      (skipped if no clang++)
+#   3. clang-tidy, repo profile                      (skipped if absent)
+#   4. hetsgd-lint over compile_commands.json        (always)
+#   5. TSan: chaos smoke + concurrency suites        (skip with --fast)
+#   6. ASan+UBSan ctest                              (skip with --fast)
+#
+# Usage:
+#   scripts/check_all.sh          # everything
+#   scripts/check_all.sh --fast   # static gates only (1-4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+JOBS=${JOBS:-$(nproc)}
+
+note() { printf '\n=== %s ===\n' "$*"; }
+
+# --- 1. default-toolchain build, warnings-as-errors, full test suite -------
+note "gate 1: build (-Werror) + ctest"
+cmake -B build -S . -DHETSGD_WERROR=ON >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+echo "gate 1: PASS"
+
+# --- 2. clang thread-safety analysis ---------------------------------------
+# This is the leg that *proves* the GUARDED_BY/REQUIRES annotations:
+# removing a MutexLock around any guarded field fails this build.
+note "gate 2: clang -Wthread-safety -Werror"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-clang -S . \
+    -DCMAKE_CXX_COMPILER=clang++ -DHETSGD_WERROR=ON >/dev/null
+  cmake --build build-clang -j"$JOBS"
+  echo "gate 2: PASS"
+else
+  echo "gate 2: SKIP (clang++ not installed; thread-safety attributes are"
+  echo "         compiled out under gcc — install clang to enforce them)"
+fi
+
+# --- 3. clang-tidy ----------------------------------------------------------
+note "gate 3: clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --build build --target tidy
+  echo "gate 3: PASS"
+else
+  echo "gate 3: SKIP (clang-tidy not installed)"
+fi
+
+# --- 4. hetsgd-lint ---------------------------------------------------------
+note "gate 4: hetsgd-lint (self-test + tree)"
+python3 tools/lint/hetsgd_lint.py --self-test
+python3 tools/lint/hetsgd_lint.py \
+  --compile-commands build/compile_commands.json
+echo "gate 4: PASS"
+
+if [[ "$FAST" == "1" ]]; then
+  note "--fast: skipping sanitizer gates (5-6)"
+  exit 0
+fi
+
+# --- 5. ThreadSanitizer -----------------------------------------------------
+# chaos_smoke --tsan builds build-tsan and runs the concurrency, actor and
+# fault suites under TSan with scripts/tsan.supp; any unsuppressed report
+# fails. The suppression file itself is kept honest by gate 4's
+# tsan-supp-stale rule.
+note "gate 5: TSan (chaos smoke + concurrency suites)"
+scripts/chaos_smoke.sh --tsan
+echo "gate 5: PASS"
+
+# --- 6. ASan + UBSan --------------------------------------------------------
+note "gate 6: ASan+UBSan ctest"
+cmake -B build-asan -S . -DHETSGD_SANITIZE=address,undefined \
+  -DHETSGD_BUILD_BENCH=OFF >/dev/null
+cmake --build build-asan -j"$JOBS"
+ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+echo "gate 6: PASS"
+
+note "all gates passed"

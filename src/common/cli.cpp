@@ -61,6 +61,8 @@ bool CliParser::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
+      // hetsgd-lint: allow(stdout-logging) --help output is the program's
+      // product here, not diagnostics; it belongs on stdout.
       std::printf("%s", usage().c_str());
       return false;
     }

@@ -23,6 +23,18 @@
     std::abort();                                                            \
   } while (0)
 
+// Forces a function to stay a distinct frame. Used for the sanctioned
+// Hogwild race helpers so ThreadSanitizer suppressions can match them by
+// symbol name — inlining would fold them into the caller and widen (or
+// silently disable) the suppression.
+#if defined(_MSC_VER)
+#define HETSGD_NOINLINE __declspec(noinline)
+#elif defined(__GNUC__) || defined(__clang__)
+#define HETSGD_NOINLINE __attribute__((noinline))
+#else
+#define HETSGD_NOINLINE
+#endif
+
 // Non-aliasing pointer qualifier for the vectorized kernels. Callers of
 // functions whose parameters carry this qualifier must pass non-overlapping
 // ranges (enforced by API contract, not at runtime).

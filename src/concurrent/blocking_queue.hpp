@@ -2,13 +2,20 @@
 //
 // The simplest correct channel; used where throughput is not critical
 // (shutdown paths, test harnesses). Hot paths use MpscQueue.
+//
+// Concurrency contract: every field is guarded by `mutex_`; the analysis
+// (-Wthread-safety) enforces that no access escapes the lock. The
+// condition variable is notified outside the critical section on the push
+// path (cheaper wakeup), which is race-free because waiters re-check the
+// guarded predicate under the lock.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/thread_annotations.hpp"
 
 namespace hetsgd::concurrent {
 
@@ -16,9 +23,9 @@ template <typename T>
 class BlockingQueue {
  public:
   // Pushes unless the queue is closed; returns false if closed.
-  bool push(T value) {
+  bool push(T value) HETSGD_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(value));
     }
@@ -27,9 +34,11 @@ class BlockingQueue {
   }
 
   // Blocks until an item is available or the queue is closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+  std::optional<T> pop() HETSGD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) {
+      cv_.wait(mutex_);
+    }
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -37,8 +46,8 @@ class BlockingQueue {
   }
 
   // Non-blocking pop.
-  std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<T> try_pop() HETSGD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -47,29 +56,29 @@ class BlockingQueue {
 
   // After close, pushes fail and pops drain the remaining items then return
   // nullopt.
-  void close() {
+  void close() HETSGD_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const HETSGD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const HETSGD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable AnnotatedMutex mutex_;
+  std::condition_variable_any cv_;  // waits directly on mutex_
+  std::deque<T> items_ HETSGD_GUARDED_BY(mutex_);
+  bool closed_ HETSGD_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hetsgd::concurrent

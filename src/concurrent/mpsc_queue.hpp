@@ -6,17 +6,28 @@
 // is the single consumer — exactly the MPSC shape. Producers are wait-free
 // except for one exchange; the consumer never takes a lock unless it has to
 // sleep.
+//
+// Concurrency contract (enforced where a mutex exists, documented where the
+// structure is lock-free by design):
+//   - head_   : atomic, producers exchange / consumer loads.
+//   - tail_   : plain pointer, CONSUMER-THREAD-CONFINED. The single
+//               consumer is the only reader and writer; the hand-off from
+//               producers happens through Node::next (release/acquire).
+//   - closed_, sleeping_ : atomics with acquire/release pairing.
+//   - wake_mutex_ + wake_cv_ : guard ONLY the sleep/wake protocol. No data
+//     field is guarded by wake_mutex_; the lock closes the classic
+//     missed-wakeup window between the consumer's empty-check and its wait.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/macros.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace hetsgd::concurrent {
 
@@ -24,6 +35,9 @@ template <typename T>
 class MpscQueue {
  public:
   MpscQueue() {
+    // hetsgd-lint: allow(naked-new) intrusive queue nodes are the one
+    // sanctioned manual-allocation site; ownership transfers through the
+    // lock-free list, which unique_ptr cannot express.
     Node* stub = new Node();
     head_.store(stub, std::memory_order_relaxed);
     tail_ = stub;
@@ -36,21 +50,24 @@ class MpscQueue {
     Node* node = tail_;
     while (node != nullptr) {
       Node* next = node->next.load(std::memory_order_relaxed);
+      // hetsgd-lint: allow(naked-new) node teardown mirrors the manual
+      // allocation above.
       delete node;
       node = next;
     }
   }
 
   // Multi-producer push. Returns false if the queue has been closed.
-  bool push(T value) {
+  bool push(T value) HETSGD_EXCLUDES(wake_mutex_) {
     if (closed_.load(std::memory_order_acquire)) return false;
+    // hetsgd-lint: allow(naked-new) see constructor.
     Node* node = new Node(std::move(value));
     Node* prev = head_.exchange(node, std::memory_order_acq_rel);
     prev->next.store(node, std::memory_order_release);
     // Wake the consumer if it is sleeping. The flag avoids taking the mutex
     // on every push.
     if (sleeping_.load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> lock(wake_mutex_);
+      MutexLock lock(wake_mutex_);
       wake_cv_.notify_one();
     }
     return true;
@@ -63,13 +80,15 @@ class MpscQueue {
     if (next == nullptr) return std::nullopt;
     std::optional<T> value(std::move(next->value));
     tail_ = next;
+    // hetsgd-lint: allow(naked-new) consumed node is retired here; see
+    // constructor.
     delete tail;
     return value;
   }
 
   // Single-consumer blocking pop; returns nullopt once the queue is closed
   // and fully drained.
-  std::optional<T> pop() {
+  std::optional<T> pop() HETSGD_EXCLUDES(wake_mutex_) {
     for (;;) {
       if (auto v = try_pop()) return v;
       if (closed_.load(std::memory_order_acquire)) {
@@ -78,14 +97,7 @@ class MpscQueue {
         if (auto v = try_pop()) return v;
         return std::nullopt;
       }
-      // Sleep until a producer signals. Double-check after setting the
-      // sleeping flag to close the missed-wakeup window.
-      sleeping_.store(true, std::memory_order_release);
-      std::unique_lock<std::mutex> lock(wake_mutex_);
-      if (empty_unsynchronized() && !closed_.load(std::memory_order_acquire)) {
-        wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
-      }
-      sleeping_.store(false, std::memory_order_release);
+      sleep_briefly();
     }
   }
 
@@ -93,7 +105,8 @@ class MpscQueue {
   // timeout expires with the queue still open (caller distinguishes via
   // closed()) or when the queue is closed and fully drained. Lets an idle
   // consumer run periodic work (deadline checks) without busy-waiting.
-  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+  std::optional<T> pop_for(std::chrono::milliseconds timeout)
+      HETSGD_EXCLUDES(wake_mutex_) {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     for (;;) {
       if (auto v = try_pop()) return v;
@@ -102,18 +115,13 @@ class MpscQueue {
         return std::nullopt;
       }
       if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
-      sleeping_.store(true, std::memory_order_release);
-      std::unique_lock<std::mutex> lock(wake_mutex_);
-      if (empty_unsynchronized() && !closed_.load(std::memory_order_acquire)) {
-        wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
-      }
-      sleeping_.store(false, std::memory_order_release);
+      sleep_briefly();
     }
   }
 
-  void close() {
+  void close() HETSGD_EXCLUDES(wake_mutex_) {
     closed_.store(true, std::memory_order_release);
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     wake_cv_.notify_all();
   }
 
@@ -131,12 +139,27 @@ class MpscQueue {
     return tail_->next.load(std::memory_order_acquire) == nullptr;
   }
 
+  // Sleep until a producer signals (bounded nap: the 1 ms cap keeps a lost
+  // wakeup from wedging the consumer). Double-checks the empty/closed
+  // predicate after setting the sleeping flag to close the missed-wakeup
+  // window.
+  void sleep_briefly() HETSGD_EXCLUDES(wake_mutex_) {
+    sleeping_.store(true, std::memory_order_release);
+    {
+      MutexLock lock(wake_mutex_);
+      if (empty_unsynchronized() && !closed_.load(std::memory_order_acquire)) {
+        wake_cv_.wait_for(wake_mutex_, std::chrono::milliseconds(1));
+      }
+    }
+    sleeping_.store(false, std::memory_order_release);
+  }
+
   alignas(hetsgd::kCacheLineSize) std::atomic<Node*> head_;  // producers
   alignas(hetsgd::kCacheLineSize) Node* tail_;               // consumer only
   std::atomic<bool> closed_{false};
   std::atomic<bool> sleeping_{false};
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  AnnotatedMutex wake_mutex_;
+  std::condition_variable_any wake_cv_;  // waits directly on wake_mutex_
 };
 
 }  // namespace hetsgd::concurrent

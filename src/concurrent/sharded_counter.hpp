@@ -3,6 +3,10 @@
 // The update ledger counts model updates from many Hogwild lanes at high
 // rate; a single atomic would serialize them on one cache line. Each lane
 // bumps its own shard, and readers sum.
+//
+// Concurrency contract: lock-free by design — per-shard relaxed atomics.
+// total() is an eventually-consistent sum (it may miss in-flight bumps);
+// callers needing an exact total must quiesce the writers first.
 #pragma once
 
 #include <atomic>

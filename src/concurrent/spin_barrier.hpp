@@ -1,4 +1,8 @@
 // Sense-reversing spin barrier for tightly-coupled Hogwild lanes.
+//
+// Concurrency contract: lock-free by design — `arrived_` and `sense_`
+// carry the release/acquire pairing; there is no mutex for the analysis to
+// check. Safe for any `parties` threads calling arrive_and_wait.
 #pragma once
 
 #include <atomic>

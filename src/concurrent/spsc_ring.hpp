@@ -3,6 +3,13 @@
 // Used for per-worker result streams (metrics samples) where the producer
 // must never block on the consumer. Capacity is rounded up to a power of
 // two so index wrapping is a mask.
+//
+// Concurrency contract: lock-free by design for EXACTLY ONE producer and
+// ONE consumer thread. `slots_` is unsynchronized storage handed off
+// through the head_/tail_ release/acquire protocol: the producer only
+// writes slots in [tail, head+capacity), the consumer only reads slots in
+// [tail, head) — never the same slot concurrently. Adding a second
+// producer or consumer is a data race; use MpscQueue or BlockingQueue.
 #pragma once
 
 #include <atomic>

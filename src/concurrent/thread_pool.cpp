@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -31,17 +31,17 @@ void ThreadPool::worker_loop(std::size_t lane) {
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lock(mutex_);
+      while (!stop_ && (job_ == nullptr || generation_ == seen_generation)) {
+        start_cv_.wait(mutex_);
+      }
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
     }
     (*job)(lane);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--remaining_ == 0) {
         done_cv_.notify_one();
       }
@@ -53,7 +53,7 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
   const std::size_t helpers = threads_.size();
   if (helpers > 0) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       HETSGD_ASSERT(job_ == nullptr, "ThreadPool::run_on_all is not reentrant");
       job_ = &fn;
       remaining_ = helpers;
@@ -63,8 +63,10 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
   }
   fn(0);
   if (helpers > 0) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    MutexLock lock(mutex_);
+    while (remaining_ != 0) {
+      done_cv_.wait(mutex_);
+    }
     job_ = nullptr;
   }
 }

@@ -43,6 +43,7 @@ Coordinator::Coordinator(data::Dataset& dataset, nn::Model& model,
 
 void Coordinator::add_worker(msg::Actor& actor, gpusim::DeviceKind kind,
                              const AdaptiveController::WorkerLimits& limits) {
+  MutexLock lock(mu_);
   const auto id = static_cast<msg::WorkerId>(workers_.size());
   WorkerRuntime w;
   w.actor = &actor;
@@ -60,6 +61,7 @@ double Coordinator::epochs_completed() const {
 }
 
 std::uint64_t Coordinator::quarantined_workers() const {
+  MutexLock lock(mu_);
   std::uint64_t n = 0;
   for (const auto& w : workers_) {
     if (w.quarantined || w.failed) ++n;
@@ -68,6 +70,7 @@ std::uint64_t Coordinator::quarantined_workers() const {
 }
 
 void Coordinator::on_start() {
+  MutexLock lock(mu_);
   HETSGD_ASSERT(!workers_.empty(), "coordinator needs at least one worker");
   monitor_ = std::make_unique<UtilizationMonitor>(workers_.size());
   if (config_.eval_interval_vseconds > 0.0) {
@@ -86,6 +89,7 @@ void Coordinator::on_start() {
 }
 
 bool Coordinator::handle(msg::Envelope envelope) {
+  MutexLock lock(mu_);
   idle_ticks_ = 0;  // any message is a sign of life; restart the silence window
   if (std::holds_alternative<msg::ScheduleWork>(envelope.message)) {
     on_schedule(std::get<msg::ScheduleWork>(envelope.message));
@@ -102,6 +106,7 @@ bool Coordinator::handle(msg::Envelope envelope) {
 }
 
 bool Coordinator::on_idle() {
+  MutexLock lock(mu_);
   if (shutting_down_ || !fault_layer_enabled()) return !loop_done_;
   if (!any_busy()) {
     idle_ticks_ = 0;
@@ -176,7 +181,7 @@ void Coordinator::on_schedule(const msg::ScheduleWork& report) {
 
   if (report.examples > 0) {
     // Busy segment: [clock_after - batch_busy, clock_after].
-    const double prev_busy = ledger_.stats(id).busy_vtime;
+    const double prev_busy = ledger_.busy_vtime(id);
     const double seg_len = report.busy_vtime - prev_busy;
     HETSGD_ASSERT(seg_len >= 0.0, "busy time went backwards");
     monitor_->record(id, report.clock_vtime - seg_len, report.clock_vtime,
@@ -224,7 +229,7 @@ void Coordinator::on_schedule(const msg::ScheduleWork& report) {
 
   if (adaptive_enabled_) {
     const Index next = adaptive_.on_request(id, report.updates);
-    ledger_.stats(id).current_batch = next;
+    ledger_.set_current_batch(id, next);
   }
 
   maybe_eval_checkpoints();
@@ -313,7 +318,7 @@ void Coordinator::try_dispatch_all() {
     WorkerRuntime& w = workers_[i];
     if (w.failed || w.quarantined) continue;
     if (!w.finished && !w.busy &&
-        ledger_.stats(static_cast<msg::WorkerId>(i)).clock >=
+        ledger_.clock(static_cast<msg::WorkerId>(i)) >=
             config_.time_budget_vseconds) {
       w.finished = true;
       w.waiting = false;
@@ -343,12 +348,12 @@ void Coordinator::try_dispatch_all() {
       idle.push_back(id);
     }
     std::sort(idle.begin(), idle.end(), [&](msg::WorkerId a, msg::WorkerId b) {
-      return ledger_.stats(a).clock < ledger_.stats(b).clock;
+      return ledger_.clock(a) < ledger_.clock(b);
     });
 
     for (msg::WorkerId id : idle) {
       WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
-      const double clock = ledger_.stats(id).clock;
+      const double clock = ledger_.clock(id);
       if (clock > frontier) continue;  // would run ahead of the frontier
 
       // Reclaimed ranges first: they are this epoch's lost work and must
@@ -399,7 +404,7 @@ void Coordinator::try_dispatch_all() {
 
 tensor::Index Coordinator::batch_for(msg::WorkerId id) const {
   // A configured batch larger than the dataset degrades to one full pass.
-  return std::min<Index>(ledger_.stats(id).current_batch,
+  return std::min<Index>(ledger_.current_batch(id),
                          dataset_.example_count());
 }
 
@@ -417,7 +422,7 @@ void Coordinator::dispatch_range(msg::WorkerId id, Index begin, Index size,
   work.sequence = ++w.dispatch_seq;
 
   const double start =
-      std::max(ledger_.stats(id).clock, epoch_start_vtime_);
+      std::max(ledger_.clock(id), epoch_start_vtime_);
   const double cost = estimate_cost(w, size);
   w.est_completion = start + cost;
   w.deadline_vtime = fault_layer_enabled()
@@ -534,8 +539,9 @@ void Coordinator::maybe_flip_epoch() {
 }
 
 void Coordinator::evaluate_loss(double vtime) {
-  // Racy snapshot of the shared model (Hogwild semantics); evaluating the
-  // snapshot keeps the measurement internally consistent.
+  // hetsgd-racy: snapshot of the shared model races with the Hogwild
+  // lanes' unsynchronized writes (nn::Model::operator= in tsan.supp);
+  // evaluating the snapshot keeps the measurement internally consistent.
   eval_snapshot_ = model_;
   const Index n = eval_x_.rows();
   const Index chunk = 512;
@@ -575,10 +581,11 @@ void Coordinator::handle_divergence(double vtime, double loss) {
     begin_shutdown();
     return;
   }
-  // Roll the shared model back to the last finite-loss snapshot and back
-  // the learning rate off. In-flight Hogwild writers may race the restore;
-  // a re-poisoned model simply triggers another (cheaper) rollback at the
-  // next evaluation. At epoch boundaries the barrier guarantees no racers.
+  // hetsgd-racy: the rollback writes the shared model while in-flight
+  // Hogwild lanes may race the restore (nn::Model::operator= in
+  // tsan.supp); a re-poisoned model simply triggers another (cheaper)
+  // rollback at the next evaluation. At epoch boundaries the barrier
+  // guarantees no racers.
   model_ = last_good_model_;
   lr_scale_ *= config_.fault.lr_backoff;
   ++rollbacks_;

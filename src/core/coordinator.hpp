@@ -26,6 +26,17 @@
 // Independently of the deadline layer, a non-finite evaluated loss rolls
 // the shared model back to the last finite-loss snapshot and backs the
 // learning rate off (or aborts the run, per config).
+//
+// Concurrency contract (DESIGN.md §10). All mutable coordinator state is
+// guarded by `mu_` and annotated; the three Actor entry points
+// (on_start/handle/on_idle) acquire it once per message and every private
+// helper is HETSGD_REQUIRES(mu_), so -Wthread-safety proves no state is
+// touched outside the lock. During training the lock is effectively
+// uncontended (one acquisition per mailbox message on the actor thread);
+// it exists so result accessors are safe from any thread. The shared
+// `model_` and `dataset_` references are deliberately UNGUARDED — they are
+// the paper's sanctioned Hogwild race sites (see scripts/tsan.supp and the
+// `hetsgd-racy` waivers at the access sites).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/adaptive.hpp"
 #include "core/config.hpp"
 #include "core/fault.hpp"
@@ -63,13 +75,25 @@ class Coordinator final : public msg::Actor {
   // Registers a worker before start(). Ids are assigned densely in call
   // order and must match the worker's own id.
   void add_worker(msg::Actor& actor, gpusim::DeviceKind kind,
-                  const AdaptiveController::WorkerLimits& limits);
+                  const AdaptiveController::WorkerLimits& limits)
+      HETSGD_EXCLUDES(mu_);
 
-  // --- results (valid after join()) -------------------------------------
+  // --- results -----------------------------------------------------------
+  // Scalar accessors lock and are safe from any thread at any time. The
+  // reference-returning accessors (ledger/monitor/loss_curve) are POST-JOIN
+  // ONLY: the happens-before edge is Actor::join() itself, which is why
+  // they carry HETSGD_POST_JOIN_ACCESS instead of taking the lock.
   const UpdateLedger& ledger() const { return ledger_; }
-  const UtilizationMonitor& monitor() const { return *monitor_; }
-  const std::vector<LossPoint>& loss_curve() const { return curve_; }
-  std::uint64_t epoch_flips() const { return epoch_; }
+  const UtilizationMonitor& monitor() const HETSGD_POST_JOIN_ACCESS {
+    return *monitor_;
+  }
+  const std::vector<LossPoint>& loss_curve() const HETSGD_POST_JOIN_ACCESS {
+    return curve_;
+  }
+  std::uint64_t epoch_flips() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return epoch_;
+  }
   double epochs_completed() const;
   double final_vtime() const { return ledger_.max_clock(); }
 
@@ -77,20 +101,46 @@ class Coordinator final : public msg::Actor {
   //   examples_dispatched() == ledger().total_examples() +
   //   examples_reclaimed()
   // holds at all times the coordinator thread is quiescent.
-  std::uint64_t examples_dispatched() const { return examples_dispatched_; }
-  std::uint64_t examples_reclaimed() const { return examples_reclaimed_; }
-  std::uint64_t late_reports() const { return late_reports_; }
-  std::uint64_t late_examples() const { return late_examples_; }
-  std::uint64_t rollbacks() const { return rollbacks_; }
-  std::uint64_t checkpoints_written() const { return checkpoints_written_; }
-  std::uint64_t quarantined_workers() const;
-  double lr_scale() const { return lr_scale_; }
-  bool diverged() const { return diverged_; }
+  std::uint64_t examples_dispatched() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return examples_dispatched_;
+  }
+  std::uint64_t examples_reclaimed() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return examples_reclaimed_;
+  }
+  std::uint64_t late_reports() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return late_reports_;
+  }
+  std::uint64_t late_examples() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return late_examples_;
+  }
+  std::uint64_t rollbacks() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return rollbacks_;
+  }
+  std::uint64_t checkpoints_written() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return checkpoints_written_;
+  }
+  std::uint64_t quarantined_workers() const HETSGD_EXCLUDES(mu_);
+  double lr_scale() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return lr_scale_;
+  }
+  bool diverged() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return diverged_;
+  }
 
  protected:
-  bool handle(msg::Envelope envelope) override;
-  void on_start() override;
-  bool on_idle() override;
+  // Actor entry points: each acquires mu_ exactly once, then runs the
+  // REQUIRES-annotated helpers below.
+  bool handle(msg::Envelope envelope) override HETSGD_EXCLUDES(mu_);
+  void on_start() override HETSGD_EXCLUDES(mu_);
+  bool on_idle() override HETSGD_EXCLUDES(mu_);
 
  private:
   struct WorkerRuntime {
@@ -113,23 +163,23 @@ class Coordinator final : public msg::Actor {
     double deadline_vtime = 0.0;      // virtual deadline of the dispatch
   };
 
-  void on_schedule(const msg::ScheduleWork& report);
-  void on_worker_fault(const msg::WorkerFault& fault);
-  void try_dispatch_all();
+  void on_schedule(const msg::ScheduleWork& report) HETSGD_REQUIRES(mu_);
+  void on_worker_fault(const msg::WorkerFault& fault) HETSGD_REQUIRES(mu_);
+  void try_dispatch_all() HETSGD_REQUIRES(mu_);
   // Dispatches [begin, begin+size) to `id` (fresh range or reclaimed).
   void dispatch_range(msg::WorkerId id, tensor::Index begin,
-                      tensor::Index size, bool reclaimed);
+                      tensor::Index size, bool reclaimed) HETSGD_REQUIRES(mu_);
   // Worker E's full batch size, clamped to one dataset pass.
   tensor::Index batch_for(msg::WorkerId id) const;
   double estimate_cost(const WorkerRuntime& w, tensor::Index batch) const;
   // Flips the epoch if the dataset is exhausted and every worker is idle.
-  void maybe_flip_epoch();
-  void evaluate_loss(double vtime);
-  void maybe_eval_checkpoints();
-  void maybe_auto_checkpoint();
-  void begin_shutdown();
-  bool any_busy() const;
-  bool all_finished() const;
+  void maybe_flip_epoch() HETSGD_REQUIRES(mu_);
+  void evaluate_loss(double vtime) HETSGD_REQUIRES(mu_);
+  void maybe_eval_checkpoints() HETSGD_REQUIRES(mu_);
+  void maybe_auto_checkpoint() HETSGD_REQUIRES(mu_);
+  void begin_shutdown() HETSGD_REQUIRES(mu_);
+  bool any_busy() const HETSGD_REQUIRES(mu_);
+  bool all_finished() const HETSGD_REQUIRES(mu_);
   double effective_window() const;
 
   // --- self-healing helpers ---------------------------------------------
@@ -140,59 +190,68 @@ class Coordinator final : public msg::Actor {
   // Returns the worker's in-flight range to the reclaim pool and advances
   // reclaimed_through so its eventual report is treated as late.
   void reclaim_inflight(msg::WorkerId id, double vtime,
-                        const std::string& why);
+                        const std::string& why) HETSGD_REQUIRES(mu_);
   // Counts one coordinator-visible fault against the worker; quarantines
   // past the configured threshold.
-  void note_fault(msg::WorkerId id, double vtime);
-  void handle_divergence(double vtime, double loss);
+  void note_fault(msg::WorkerId id, double vtime) HETSGD_REQUIRES(mu_);
+  void handle_divergence(double vtime, double loss) HETSGD_REQUIRES(mu_);
 
+  // Shared Hogwild state — deliberately unguarded (see header comment).
   data::Dataset& dataset_;
   nn::Model& model_;
-  const TrainingConfig& config_;
+  const TrainingConfig& config_;  // immutable for the run
   const bool adaptive_enabled_;
 
+  // One lock per mailbox message; guards everything below that is mutable
+  // after start(). ledger_ is internally synchronized; the perf models and
+  // the eval sample (eval_x_/eval_y_) are immutable after construction;
+  // rng_ is coordinator-thread-confined (seeded in the constructor).
+  mutable AnnotatedMutex mu_;
+
   UpdateLedger ledger_;
-  std::unique_ptr<UtilizationMonitor> monitor_;
-  AdaptiveController adaptive_;
+  std::unique_ptr<UtilizationMonitor> monitor_ HETSGD_GUARDED_BY(mu_)
+      HETSGD_PT_GUARDED_BY(mu_);
+  AdaptiveController adaptive_ HETSGD_GUARDED_BY(mu_);
   gpusim::PerfModel cpu_perf_;
   gpusim::PerfModel gpu_perf_;
-  std::vector<WorkerRuntime> workers_;
+  std::vector<WorkerRuntime> workers_ HETSGD_GUARDED_BY(mu_);
 
-  tensor::Index cursor_ = 0;  // next unassigned example of this epoch
-  std::uint64_t epoch_ = 0;
-  double epoch_start_vtime_ = 0.0;
-  double next_eval_vtime_ = 0.0;
+  tensor::Index cursor_ HETSGD_GUARDED_BY(mu_) = 0;  // next unassigned example
+  std::uint64_t epoch_ HETSGD_GUARDED_BY(mu_) = 0;
+  double epoch_start_vtime_ HETSGD_GUARDED_BY(mu_) = 0.0;
+  double next_eval_vtime_ HETSGD_GUARDED_BY(mu_) = 0.0;
 
   // Loss evaluation sample (copied rows, immune to dataset shuffles).
-  tensor::Matrix eval_x_;
-  std::vector<std::int32_t> eval_y_;
-  nn::Workspace eval_ws_;
-  nn::Model eval_snapshot_;
+  tensor::Matrix eval_x_;             // immutable after construction
+  std::vector<std::int32_t> eval_y_;  // immutable after construction
+  nn::Workspace eval_ws_ HETSGD_GUARDED_BY(mu_);
+  nn::Model eval_snapshot_ HETSGD_GUARDED_BY(mu_);
 
-  std::vector<LossPoint> curve_;
-  Rng rng_;
-  bool shutting_down_ = false;
-  std::size_t shutdown_acks_ = 0;
-  std::size_t expected_acks_ = 0;
-  bool loop_done_ = false;
+  std::vector<LossPoint> curve_ HETSGD_GUARDED_BY(mu_);
+  Rng rng_;  // coordinator-thread-confined
+  bool shutting_down_ HETSGD_GUARDED_BY(mu_) = false;
+  std::size_t shutdown_acks_ HETSGD_GUARDED_BY(mu_) = 0;
+  std::size_t expected_acks_ HETSGD_GUARDED_BY(mu_) = 0;
+  bool loop_done_ HETSGD_GUARDED_BY(mu_) = false;
 
   // --- self-healing state ------------------------------------------------
   // Batch ranges lost to deadline misses / faults, awaiting re-dispatch.
   // Invalidated (dropped) at epoch flips: they index the old permutation.
-  std::vector<std::pair<tensor::Index, tensor::Index>> reclaim_pool_;
-  std::uint64_t examples_dispatched_ = 0;
-  std::uint64_t examples_reclaimed_ = 0;
-  std::uint64_t late_reports_ = 0;
-  std::uint64_t late_examples_ = 0;
-  std::uint64_t rollbacks_ = 0;
-  std::uint64_t checkpoints_written_ = 0;
-  std::int64_t idle_ticks_ = 0;
-  double lr_scale_ = 1.0;  // halved by each divergence rollback
-  bool diverged_ = false;  // aborted on non-finite loss per config
-  nn::Model last_good_model_;
-  double last_good_loss_ = 0.0;
-  bool has_last_good_ = false;
-  double next_checkpoint_vtime_ = 0.0;
+  std::vector<std::pair<tensor::Index, tensor::Index>> reclaim_pool_
+      HETSGD_GUARDED_BY(mu_);
+  std::uint64_t examples_dispatched_ HETSGD_GUARDED_BY(mu_) = 0;
+  std::uint64_t examples_reclaimed_ HETSGD_GUARDED_BY(mu_) = 0;
+  std::uint64_t late_reports_ HETSGD_GUARDED_BY(mu_) = 0;
+  std::uint64_t late_examples_ HETSGD_GUARDED_BY(mu_) = 0;
+  std::uint64_t rollbacks_ HETSGD_GUARDED_BY(mu_) = 0;
+  std::uint64_t checkpoints_written_ HETSGD_GUARDED_BY(mu_) = 0;
+  std::int64_t idle_ticks_ HETSGD_GUARDED_BY(mu_) = 0;
+  double lr_scale_ HETSGD_GUARDED_BY(mu_) = 1.0;  // halved per rollback
+  bool diverged_ HETSGD_GUARDED_BY(mu_) = false;  // aborted on non-finite loss
+  nn::Model last_good_model_ HETSGD_GUARDED_BY(mu_);
+  double last_good_loss_ HETSGD_GUARDED_BY(mu_) = 0.0;
+  bool has_last_good_ HETSGD_GUARDED_BY(mu_) = false;
+  double next_checkpoint_vtime_ HETSGD_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace hetsgd::core

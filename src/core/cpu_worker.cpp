@@ -80,6 +80,8 @@ bool CpuWorker::execute(const msg::ExecuteWork& work) {
     stall = fault_plan_->stall(id_, clock_.now());
     if (stall.sleep_ms > 0) {
       // Real stall: visible to the coordinator's real-time grace fallback.
+      // hetsgd-lint: allow(wall-clock) injected stalls must consume real
+      // time, not virtual time, to exercise real-time silence detection.
       std::this_thread::sleep_for(std::chrono::milliseconds(stall.sleep_ms));
     }
   }

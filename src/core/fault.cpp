@@ -71,6 +71,7 @@ bool FaultPlan::parse(const std::string& spec, std::uint64_t seed,
     if (error != nullptr) *error = msg;
     return false;
   };
+  MutexLock lock(out->mutex_);
   out->events_.clear();
   out->fired_.clear();
   out->seed_ = seed;
@@ -140,7 +141,7 @@ bool FaultPlan::parse(const std::string& spec, std::uint64_t seed,
 }
 
 void FaultPlan::resolve_times(double budget_vseconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Rng rng(seed_ ^ 0xfa5717);
   for (FaultEvent& ev : events_) {
     if (ev.at_vtime >= 0.0) continue;
@@ -151,17 +152,17 @@ void FaultPlan::resolve_times(double budget_vseconds) {
 }
 
 bool FaultPlan::empty() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.empty();
 }
 
 std::size_t FaultPlan::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 bool FaultPlan::contains(FaultKind kind) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const FaultEvent& e : events_) {
     if (e.kind == kind) return true;
   }
@@ -169,7 +170,7 @@ bool FaultPlan::contains(FaultKind kind) const {
 }
 
 FaultPlan::StallState FaultPlan::stall(msg::WorkerId w, double vtime) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   StallState state;
   for (FaultEvent& ev : events_) {
     if (ev.kind != FaultKind::kStall || ev.worker != w) continue;
@@ -187,7 +188,7 @@ FaultPlan::StallState FaultPlan::stall(msg::WorkerId w, double vtime) {
 
 bool FaultPlan::consume(FaultKind kind, msg::WorkerId w, double vtime,
                         FaultEvent* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (FaultEvent& ev : events_) {
     if (ev.kind != kind || ev.worker != w || ev.fired) continue;
     if (ev.at_vtime < 0.0 || vtime < ev.at_vtime) continue;
@@ -214,7 +215,7 @@ std::int64_t FaultPlan::transfer_failures_due(msg::WorkerId w, double vtime) {
 }
 
 std::vector<FaultRecord> FaultPlan::fired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return fired_;
 }
 

@@ -14,10 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "msg/message.hpp"
 
 namespace hetsgd {
@@ -76,6 +76,10 @@ struct FaultRecord {
 // thread-safe (workers call from their actor threads) and consume events
 // exactly once, so a plan replayed with the same seed and schedule yields
 // the same run.
+//
+// Concurrency contract: every field is guarded by `mutex_` and annotated;
+// all public methods are self-locking (-Wthread-safety proves no access
+// escapes the lock).
 class FaultPlan {
  public:
   FaultPlan() = default;
@@ -93,12 +97,12 @@ class FaultPlan {
 
   // Resolves fraction/unspecified triggers against the run's virtual-time
   // budget. Must be called once before the run starts.
-  void resolve_times(double budget_vseconds);
+  void resolve_times(double budget_vseconds) HETSGD_EXCLUDES(mutex_);
 
-  bool empty() const;
-  std::size_t event_count() const;
+  bool empty() const HETSGD_EXCLUDES(mutex_);
+  std::size_t event_count() const HETSGD_EXCLUDES(mutex_);
   // True if the plan schedules at least one injection of `kind`.
-  bool contains(FaultKind kind) const;
+  bool contains(FaultKind kind) const HETSGD_EXCLUDES(mutex_);
 
   // --- worker-side queries (thread-safe) --------------------------------
   // Cumulative stall state for `w` at virtual time `vtime`: the product of
@@ -108,27 +112,28 @@ class FaultPlan {
     double factor = 1.0;
     std::int64_t sleep_ms = 0;
   };
-  StallState stall(msg::WorkerId w, double vtime);
+  StallState stall(msg::WorkerId w, double vtime) HETSGD_EXCLUDES(mutex_);
 
   // True exactly once, on the first query at/after the event's trigger.
-  bool death_due(msg::WorkerId w, double vtime);
-  bool corruption_due(msg::WorkerId w, double vtime);
+  bool death_due(msg::WorkerId w, double vtime) HETSGD_EXCLUDES(mutex_);
+  bool corruption_due(msg::WorkerId w, double vtime) HETSGD_EXCLUDES(mutex_);
 
   // Number of consecutive transfer failures to inject (0 = none); the
   // matching event is consumed.
-  std::int64_t transfer_failures_due(msg::WorkerId w, double vtime);
+  std::int64_t transfer_failures_due(msg::WorkerId w, double vtime)
+      HETSGD_EXCLUDES(mutex_);
 
   // Injections that actually fired, in firing order.
-  std::vector<FaultRecord> fired() const;
+  std::vector<FaultRecord> fired() const HETSGD_EXCLUDES(mutex_);
 
  private:
   bool consume(FaultKind kind, msg::WorkerId w, double vtime,
-               FaultEvent* out);
+               FaultEvent* out) HETSGD_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<FaultEvent> events_;
-  std::vector<FaultRecord> fired_;
-  std::uint64_t seed_ = 0;
+  mutable AnnotatedMutex mutex_;
+  std::vector<FaultEvent> events_ HETSGD_GUARDED_BY(mutex_);
+  std::vector<FaultRecord> fired_ HETSGD_GUARDED_BY(mutex_);
+  std::uint64_t seed_ HETSGD_GUARDED_BY(mutex_) = 0;
 };
 
 // Fault-tolerance knobs (TrainingConfig::fault). Everything defaults off /

@@ -74,6 +74,8 @@ bool GpuWorker::execute(const msg::ExecuteWork& work) {
     }
     stall = fault_plan_->stall(id_, clock_.now());
     if (stall.sleep_ms > 0) {
+      // hetsgd-lint: allow(wall-clock) injected stalls must consume real
+      // time, not virtual time, to exercise real-time silence detection.
       std::this_thread::sleep_for(std::chrono::milliseconds(stall.sleep_ms));
     }
     const std::int64_t transfer_faults =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/macros.hpp"
 
@@ -10,6 +11,7 @@ namespace hetsgd::core {
 void UpdateLedger::register_worker(msg::WorkerId id, std::string name,
                                    gpusim::DeviceKind kind,
                                    tensor::Index initial_batch) {
+  MutexLock lock(mu_);
   HETSGD_ASSERT(id == static_cast<msg::WorkerId>(workers_.size()),
                 "worker ids must be registered densely from 0");
   WorkerStats s;
@@ -20,20 +22,56 @@ void UpdateLedger::register_worker(msg::WorkerId id, std::string name,
   workers_.push_back(std::move(s));
 }
 
-WorkerStats& UpdateLedger::stats(msg::WorkerId id) {
+WorkerStats& UpdateLedger::stats_locked(msg::WorkerId id) {
   HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
                 "unknown worker id");
   return workers_[static_cast<std::size_t>(id)];
 }
 
-const WorkerStats& UpdateLedger::stats(msg::WorkerId id) const {
+const WorkerStats& UpdateLedger::stats_locked(msg::WorkerId id) const {
   HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
                 "unknown worker id");
   return workers_[static_cast<std::size_t>(id)];
+}
+
+WorkerStats UpdateLedger::stats(msg::WorkerId id) const {
+  MutexLock lock(mu_);
+  return stats_locked(id);
+}
+
+std::vector<WorkerStats> UpdateLedger::all() const {
+  MutexLock lock(mu_);
+  return workers_;
+}
+
+std::size_t UpdateLedger::worker_count() const {
+  MutexLock lock(mu_);
+  return workers_.size();
+}
+
+double UpdateLedger::clock(msg::WorkerId id) const {
+  MutexLock lock(mu_);
+  return stats_locked(id).clock;
+}
+
+double UpdateLedger::busy_vtime(msg::WorkerId id) const {
+  MutexLock lock(mu_);
+  return stats_locked(id).busy_vtime;
+}
+
+tensor::Index UpdateLedger::current_batch(msg::WorkerId id) const {
+  MutexLock lock(mu_);
+  return stats_locked(id).current_batch;
+}
+
+void UpdateLedger::set_current_batch(msg::WorkerId id, tensor::Index batch) {
+  MutexLock lock(mu_);
+  stats_locked(id).current_batch = batch;
 }
 
 void UpdateLedger::on_report(const msg::ScheduleWork& report) {
-  WorkerStats& s = stats(report.worker);
+  MutexLock lock(mu_);
+  WorkerStats& s = stats_locked(report.worker);
   HETSGD_ASSERT(report.updates >= s.updates,
                 "update counts must be monotone");
   HETSGD_ASSERT(report.clock_vtime >= s.clock, "worker clock went backwards");
@@ -49,7 +87,8 @@ void UpdateLedger::on_report(const msg::ScheduleWork& report) {
 }
 
 void UpdateLedger::on_late_report(const msg::ScheduleWork& report) {
-  WorkerStats& s = stats(report.worker);
+  MutexLock lock(mu_);
+  WorkerStats& s = stats_locked(report.worker);
   HETSGD_ASSERT(report.updates >= s.updates,
                 "update counts must be monotone");
   HETSGD_ASSERT(report.clock_vtime >= s.clock, "worker clock went backwards");
@@ -60,22 +99,31 @@ void UpdateLedger::on_late_report(const msg::ScheduleWork& report) {
 }
 
 void UpdateLedger::record_fault(FaultRecord record) {
+  MutexLock lock(mu_);
   faults_.push_back(std::move(record));
 }
 
+std::vector<FaultRecord> UpdateLedger::fault_records() const {
+  MutexLock lock(mu_);
+  return faults_;
+}
+
 std::uint64_t UpdateLedger::total_updates() const {
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& w : workers_) total += w.updates;
   return total;
 }
 
 std::uint64_t UpdateLedger::total_examples() const {
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& w : workers_) total += w.examples;
   return total;
 }
 
 std::uint64_t UpdateLedger::updates_by_kind(gpusim::DeviceKind kind) const {
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& w : workers_) {
     if (w.kind == kind) total += w.updates;
@@ -85,6 +133,7 @@ std::uint64_t UpdateLedger::updates_by_kind(gpusim::DeviceKind kind) const {
 
 bool UpdateLedger::other_update_range(msg::WorkerId id, std::uint64_t& min_u,
                                       std::uint64_t& max_u) const {
+  MutexLock lock(mu_);
   bool any = false;
   min_u = std::numeric_limits<std::uint64_t>::max();
   max_u = 0;
@@ -98,12 +147,14 @@ bool UpdateLedger::other_update_range(msg::WorkerId id, std::uint64_t& min_u,
 }
 
 double UpdateLedger::min_clock() const {
+  MutexLock lock(mu_);
   double t = std::numeric_limits<double>::max();
   for (const auto& w : workers_) t = std::min(t, w.clock);
   return workers_.empty() ? 0.0 : t;
 }
 
 double UpdateLedger::max_clock() const {
+  MutexLock lock(mu_);
   double t = 0.0;
   for (const auto& w : workers_) t = std::max(t, w.clock);
   return t;

@@ -2,14 +2,22 @@
 //
 // The coordinator maintains this from ScheduleWork messages; it is the
 // data behind Fig. 8 (update distribution) and the adaptive controller's
-// inputs. Written only on the coordinator thread; snapshots are taken
-// after training for reporting.
+// inputs.
+//
+// Concurrency contract: internally synchronized. Every field is guarded by
+// `mu_` and annotated (-Wthread-safety rejects unlocked access); accessors
+// return snapshots by value, never references into guarded state. During
+// training only the coordinator thread calls in, so the uncontended lock
+// costs ~20 ns per call; the locking exists so live-monitoring threads
+// (metrics endpoints, the planned serving layer) can read a consistent
+// ledger mid-run without a contract change.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/fault.hpp"
 #include "gpusim/perf_model.hpp"
 #include "msg/message.hpp"
@@ -44,47 +52,62 @@ class UpdateLedger {
  public:
   // Registers a worker; ids must be dense [0, n).
   void register_worker(msg::WorkerId id, std::string name,
-                       gpusim::DeviceKind kind, tensor::Index initial_batch);
+                       gpusim::DeviceKind kind, tensor::Index initial_batch)
+      HETSGD_EXCLUDES(mu_);
 
-  WorkerStats& stats(msg::WorkerId id);
-  const WorkerStats& stats(msg::WorkerId id) const;
+  // Snapshot of one worker's stats (copy, safe to hold across updates).
+  WorkerStats stats(msg::WorkerId id) const HETSGD_EXCLUDES(mu_);
+  // Snapshot of all workers' stats.
+  std::vector<WorkerStats> all() const HETSGD_EXCLUDES(mu_);
 
-  std::size_t worker_count() const { return workers_.size(); }
-  const std::vector<WorkerStats>& all() const { return workers_; }
+  std::size_t worker_count() const HETSGD_EXCLUDES(mu_);
+
+  // Hot-path scalar reads (coordinator scheduling loop).
+  double clock(msg::WorkerId id) const HETSGD_EXCLUDES(mu_);
+  double busy_vtime(msg::WorkerId id) const HETSGD_EXCLUDES(mu_);
+  tensor::Index current_batch(msg::WorkerId id) const HETSGD_EXCLUDES(mu_);
+  // Records the batch size the adaptive controller just assigned.
+  void set_current_batch(msg::WorkerId id, tensor::Index batch)
+      HETSGD_EXCLUDES(mu_);
 
   // Folds a completed-batch report into the ledger.
-  void on_report(const msg::ScheduleWork& report);
+  void on_report(const msg::ScheduleWork& report) HETSGD_EXCLUDES(mu_);
 
   // Folds a *late* report — one whose batch was already reclaimed after a
   // deadline miss. Clocks, update counts, and utilization advance (the
   // Hogwild updates really happened), but examples/batches do NOT: the
   // reclaimed range was re-dispatched elsewhere and counting it twice
   // would break `dispatched == reported + reclaimed`.
-  void on_late_report(const msg::ScheduleWork& report);
+  void on_late_report(const msg::ScheduleWork& report) HETSGD_EXCLUDES(mu_);
 
   // --- fault / recovery event log ---------------------------------------
   // Coordinator-side detections and recovery actions, in detection order;
   // injections recorded by the FaultPlan are merged in by the Trainer.
-  void record_fault(FaultRecord record);
-  const std::vector<FaultRecord>& fault_records() const { return faults_; }
+  void record_fault(FaultRecord record) HETSGD_EXCLUDES(mu_);
+  std::vector<FaultRecord> fault_records() const HETSGD_EXCLUDES(mu_);
 
-  std::uint64_t total_updates() const;
-  std::uint64_t total_examples() const;
-  std::uint64_t updates_by_kind(gpusim::DeviceKind kind) const;
+  std::uint64_t total_updates() const HETSGD_EXCLUDES(mu_);
+  std::uint64_t total_examples() const HETSGD_EXCLUDES(mu_);
+  std::uint64_t updates_by_kind(gpusim::DeviceKind kind) const
+      HETSGD_EXCLUDES(mu_);
 
   // Smallest/largest update count among workers *other than* `id` —
   // Algorithm 2's min_u / max_u inputs. Returns false if there are no
   // other workers.
   bool other_update_range(msg::WorkerId id, std::uint64_t& min_u,
-                          std::uint64_t& max_u) const;
+                          std::uint64_t& max_u) const HETSGD_EXCLUDES(mu_);
 
   // Smallest clock among all workers (progress of the virtual frontier).
-  double min_clock() const;
-  double max_clock() const;
+  double min_clock() const HETSGD_EXCLUDES(mu_);
+  double max_clock() const HETSGD_EXCLUDES(mu_);
 
  private:
-  std::vector<WorkerStats> workers_;
-  std::vector<FaultRecord> faults_;
+  WorkerStats& stats_locked(msg::WorkerId id) HETSGD_REQUIRES(mu_);
+  const WorkerStats& stats_locked(msg::WorkerId id) const HETSGD_REQUIRES(mu_);
+
+  mutable AnnotatedMutex mu_;
+  std::vector<WorkerStats> workers_ HETSGD_GUARDED_BY(mu_);
+  std::vector<FaultRecord> faults_ HETSGD_GUARDED_BY(mu_);
 };
 
 }  // namespace hetsgd::core

@@ -37,6 +37,33 @@ std::span<const std::int32_t> Dataset::batch_labels(Index begin,
                                        static_cast<std::size_t>(count));
 }
 
+namespace detail {
+
+// hetsgd-racy: the two helpers below are the ONLY sanctioned race surface
+// of the epoch reshuffle. A zombie reader — a worker whose overdue batch
+// was reclaimed but whose thread is still grinding the old range — may
+// read feature rows / labels while these swaps rewrite them. The zombie's
+// report is discarded from the accounting (late-report path), its reads
+// just observe a mix of pre/post-shuffle examples, and a pathological
+// update is caught by the divergence guard. They are separate noinline
+// functions precisely so scripts/tsan.supp can suppress exactly this
+// swap↔reader pair by symbol name instead of every race anywhere under
+// Dataset::shuffle — races on the shuffle's own bookkeeping (RNG state,
+// sizes, the scratch buffer) still get reported.
+
+HETSGD_NOINLINE void hogwild_swap_rows(Scalar* a, Scalar* b, Scalar* scratch,
+                                       Index d) {
+  std::copy(a, a + d, scratch);
+  std::copy(b, b + d, a);
+  std::copy(scratch, scratch + d, b);
+}
+
+HETSGD_NOINLINE void hogwild_swap_labels(std::int32_t& a, std::int32_t& b) {
+  std::swap(a, b);
+}
+
+}  // namespace detail
+
 void Dataset::shuffle(Rng& rng) {
   const Index n = example_count();
   const Index d = dim();
@@ -46,13 +73,10 @@ void Dataset::shuffle(Rng& rng) {
     const Index j = static_cast<Index>(rng.next_below(
         static_cast<std::uint64_t>(i)));
     if (j == i - 1) continue;
-    Scalar* a = features_.row(i - 1);
-    Scalar* b = features_.row(j);
-    std::copy(a, a + d, row_buf.data());
-    std::copy(b, b + d, a);
-    std::copy(row_buf.data(), row_buf.data() + d, b);
-    std::swap(labels_[static_cast<std::size_t>(i - 1)],
-              labels_[static_cast<std::size_t>(j)]);
+    detail::hogwild_swap_rows(features_.row(i - 1), features_.row(j),
+                              row_buf.data(), d);
+    detail::hogwild_swap_labels(labels_[static_cast<std::size_t>(i - 1)],
+                                labels_[static_cast<std::size_t>(j)]);
   }
 }
 

@@ -10,6 +10,13 @@
 // enqueue kernels on a Stream, synchronize, copy_to_host. All operations
 // take the host's issue time (the worker's virtual clock) and return the
 // operation's completion time on the stream.
+//
+// Concurrency contract: a Device (and everything it owns — allocator,
+// streams, perf model) is single-owner, confined to the GPU worker's actor
+// thread. Nothing here is synchronized, no method is cross-thread-safe,
+// and -Wthread-safety has nothing to prove: the Actor mailbox is the only
+// way in. Sharing one Device between threads is a contract violation, not
+// a supported mode.
 #pragma once
 
 #include <cstdint>

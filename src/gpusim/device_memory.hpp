@@ -3,6 +3,11 @@
 // The paper's GPU batch size is upper-bounded by the V100's 16 GB (§VI-B);
 // the allocator enforces that bound so experiments that would not fit on
 // the real card fail here too, instead of silently succeeding.
+//
+// Concurrency contract: DeviceAllocator and DeviceMatrix are confined to
+// the owning GPU worker's actor thread (single-owner, like the Device that
+// holds them). The capacity counters are plain integers on purpose — no
+// cross-thread access exists to synchronize.
 #pragma once
 
 #include <cstdint>

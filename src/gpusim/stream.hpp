@@ -6,6 +6,10 @@
 // can synchronize on a stream or an event. Kernels here execute eagerly on
 // the worker thread — only their *completion times* are sequenced in
 // virtual time.
+//
+// Concurrency contract: streams and events are owned by their Device and
+// share its thread confinement (the owning worker's actor thread);
+// deliberately unsynchronized.
 #pragma once
 
 #include <cstdint>

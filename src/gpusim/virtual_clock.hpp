@@ -7,6 +7,11 @@
 // virtual seconds. This makes runs deterministic and hardware-independent
 // while leaving the actual SGD math (and its real thread-level races on the
 // CPU path) untouched.
+//
+// Concurrency contract: a VirtualClock is confined to the thread of the
+// worker (or stream) that owns it — unsynchronized by design. Clock values
+// cross threads only as plain doubles inside messages, never as shared
+// state.
 #pragma once
 
 #include "common/macros.hpp"

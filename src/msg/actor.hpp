@@ -6,6 +6,16 @@
 // are processed strictly in arrival order by the owning thread; all
 // cross-thread communication goes through mailboxes, all bulk data through
 // shared memory references.
+//
+// Concurrency contract:
+//   - send() is the ONLY member safe to call from any thread; it delegates
+//     to the internally-synchronized MpscQueue mailbox.
+//   - start()/join() and the fields started_, thread_, idle_interval_ are
+//     OWNER-THREAD-CONFINED: touched by the thread that constructed the
+//     actor, before start() or after join().
+//   - handle()/on_start()/on_stop()/on_idle()/on_handle_exception() run on
+//     the actor thread only; subclass state they touch is actor-thread-
+//     confined unless the subclass locks it (see core::Coordinator).
 #pragma once
 
 #include <chrono>

@@ -98,6 +98,11 @@ void Model::set_zero() {
   }
 }
 
+// hetsgd-racy: when `this` is the shared global model, the tensor::axpy
+// calls below are the paper's unsynchronized Hogwild update — every CPU
+// lane writes the shared parameters while other lanes read them mid-forward
+// and the GPU worker snapshots them (race:hetsgd::tensor::axpy in
+// scripts/tsan.supp). The race IS the algorithm; do not add locking here.
 void Model::axpy(tensor::Scalar alpha, const Model& other) {
   HETSGD_ASSERT(same_shape(other), "Model::axpy shape mismatch");
   for (std::size_t l = 0; l < layers_.size(); ++l) {

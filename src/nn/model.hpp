@@ -58,6 +58,12 @@ struct Layer {
 // The model W = {W^1 … W^P}. Value semantics: copying a Model is the "deep
 // copy" the GPU worker performs; CPU workers share one instance by
 // reference (Hogwild).
+//
+// hetsgd-racy: the implicitly-generated copy constructor / operator= are a
+// sanctioned race site when the source is the shared global model — the
+// GPU worker's upload snapshot and the coordinator's loss-evaluation
+// snapshot/rollback deliberately copy while Hogwild lanes write
+// (race:hetsgd::nn::Model::operator= in scripts/tsan.supp).
 class Model {
  public:
   Model() = default;

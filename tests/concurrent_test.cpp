@@ -124,6 +124,57 @@ TEST(MpscQueue, PerProducerOrderPreserved) {
   for (auto& t : producers) t.join();
 }
 
+// Stress the close() vs pop_for() interleaving: consumers parked inside
+// pop_for's sleep/wake protocol must all wake and observe the drain-then-
+// nullopt sequence when producers race a close. Exercises the sleeping_
+// flag handshake under contention (a lost wakeup here -> this test hangs
+// until the 2s pop_for deadline and the count check fails).
+TEST(MpscQueue, ClosePopForInterleavingStress) {
+  constexpr int kRounds = 50;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 40;
+  for (int round = 0; round < kRounds; ++round) {
+    MpscQueue<int> q;
+    std::atomic<int> pushed{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          // After close, push must reject; count only accepted values.
+          if (q.push(i)) pushed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    int popped = 0;
+    std::thread consumer([&] {
+      // Mix short-timeout (forces the sleep path) and long-timeout pops.
+      for (;;) {
+        auto v = q.pop_for(std::chrono::milliseconds(popped % 2 == 0 ? 0 : 2000));
+        if (v.has_value()) {
+          ++popped;
+        } else if (q.closed()) {
+          // Drained-and-closed is the only sanctioned nullopt exit here
+          // once the final drain below confirms emptiness.
+          if (!q.try_pop().has_value()) break;
+          ++popped;
+        }
+        // Timeout on an open queue: keep going.
+      }
+    });
+    // Close mid-stream on even rounds, after the producers on odd rounds,
+    // to vary which pushes lose the race.
+    if (round % 2 == 0) {
+      q.close();
+      for (auto& t : producers) t.join();
+    } else {
+      for (auto& t : producers) t.join();
+      q.close();
+    }
+    consumer.join();
+    EXPECT_EQ(popped, pushed.load()) << "round " << round;
+  }
+}
+
 TEST(SpscRing, PushPop) {
   SpscRing<int> ring(4);
   EXPECT_TRUE(ring.try_push(1));
@@ -162,6 +213,36 @@ TEST(SpscRing, CrossThreadStream) {
       ASSERT_EQ(*v, expected++);
     }
   }
+  producer.join();
+}
+
+// Index wraparound: with a tiny ring and far more pushes than capacity,
+// the monotonically increasing head/tail counters lap the buffer many
+// times; masking must keep slots disjoint and FIFO intact. Values carry a
+// payload distinct from their index so a masking bug shows up as a value
+// mismatch, not just a reorder.
+TEST(SpscRing, WraparoundPreservesFifoAcrossManyLaps) {
+  SpscRing<std::pair<int, int>> ring(4);  // capacity 4 -> thousands of laps
+  constexpr int kCount = 20000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount;) {
+      if (ring.try_push({i, i * 31 + 7})) {
+        ++i;
+      } else {
+        std::this_thread::yield();  // full: let the consumer drain
+      }
+    }
+  });
+  for (int expected = 0; expected < kCount;) {
+    if (auto v = ring.try_pop()) {
+      ASSERT_EQ(v->first, expected);
+      ASSERT_EQ(v->second, expected * 31 + 7);
+      ++expected;
+    } else {
+      std::this_thread::yield();  // empty: let the producer refill
+    }
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
   producer.join();
 }
 

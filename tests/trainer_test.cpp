@@ -89,8 +89,8 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmRun,
                                            Algorithm::kCpuGpuHogbatch,
                                            Algorithm::kAdaptiveHogbatch,
                                            Algorithm::kTensorFlow),
-                         [](const auto& info) {
-                           std::string name = algorithm_name(info.param);
+                         [](const auto& param_info) {
+                           std::string name = algorithm_name(param_info.param);
                            for (auto& c : name) {
                              if (c == '-' || c == '+') c = '_';
                            }

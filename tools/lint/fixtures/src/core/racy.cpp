@@ -1,0 +1,9 @@
+// Fixture: a documented sanctioned race site, matching the fixture
+// tsan.supp entry `race:fixture::sanctioned_race`.
+namespace fixture {
+
+// hetsgd-racy: fixture stand-in for a Hogwild update — intentionally
+// unsynchronized shared write, suppressed by symbol name.
+void sanctioned_race(float* shared, float delta) { *shared += delta; }
+
+}  // namespace fixture
