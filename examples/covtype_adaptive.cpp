@@ -12,6 +12,7 @@
 
 #include "common/cli.hpp"
 #include "core/cost_model.hpp"
+#include "core/elastic.hpp"
 #include "core/fault.hpp"
 #include "core/trainer.hpp"
 #include "data/synthetic.hpp"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   double gpu_epochs_budget = 10.0;
   double alpha = 2.0;
   std::string fault_csv;
+  std::string elastic_plan;
   core::FaultToleranceConfig fault;
   CliParser cli("covtype_adaptive",
                 "Adaptive Hogbatch on a covtype-like workload");
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
                  "virtual-time budget, in GPU mini-batch epochs");
   cli.add_double("alpha", &alpha, "batch resize factor (Algorithm 2)");
   core::register_fault_flags(cli, &fault);
+  core::register_elastic_flags(cli, &elastic_plan);
   cli.add_string("fault-csv", &fault_csv,
                  "write the fault/recovery event log to this CSV");
   if (!cli.parse(argc, argv)) return 0;
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
   config.gpu.batch = 1024;
   config.gpu.spec.half_saturation_batch = 128;
   config.fault = fault;
+  config.elastic_plan = elastic_plan;
 
   // Budget: enough virtual time for the GPU alone to do `budget` epochs.
   core::TrainingConfig probe = config;
@@ -69,6 +73,16 @@ int main(int argc, char** argv) {
 
   core::Trainer trainer(std::move(dataset), config);
   core::TrainingResult r = trainer.run();
+
+  if (r.resumed) {
+    std::printf("resumed from checkpoint (epoch %llu)\n",
+                static_cast<unsigned long long>(r.resume_epoch));
+  }
+  if (r.workers_joined > 0 || r.workers_retired > 0) {
+    std::printf("elastic membership: %llu joined, %llu retired\n",
+                static_cast<unsigned long long>(r.workers_joined),
+                static_cast<unsigned long long>(r.workers_retired));
+  }
 
   std::printf("\nloss trajectory (virtual seconds -> loss):\n");
   for (const auto& p : r.loss_curve) {
@@ -94,6 +108,11 @@ int main(int argc, char** argv) {
   std::printf("final loss %.4f after %.2f epochs in %.4g virtual seconds "
               "(%.1fs wall)\n",
               r.final_loss, r.epochs, r.total_vtime, r.wall_seconds);
+  if (!fault.checkpoint_dir.empty()) {
+    std::printf("checkpoints written: %llu (dir %s)\n",
+                static_cast<unsigned long long>(r.checkpoints_written),
+                fault.checkpoint_dir.c_str());
+  }
 
   if (!r.fault_events.empty()) {
     std::printf("\nfault/recovery log (%zu events):\n",

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Crash/resume smoke: SIGKILL the trainer at varying points and verify
+# every restart resumes from a valid checkpoint.
+#
+# Each iteration wipes the checkpoint directory, then:
+#   1. runs covtype_adaptive with --checkpoint-dir and a `crash` fault
+#      injection (std::raise(SIGKILL) inside a worker: no destructors, no
+#      flushes — simulated power loss). Expected exit: 137 (killed), or 0
+#      when the run finished before the crash point.
+#   2. restarts with --resume pointing at the same directory. The restart
+#      must exit 0; when the killed run managed to cut at least one
+#      checkpoint, the restart must report "resumed from checkpoint" —
+#      a torn or corrupt file that load_latest cannot fall back from
+#      fails the iteration.
+#
+# The crash fraction sweeps the whole run and alternates the crashing
+# worker, so cuts are interrupted at every phase: before the first epoch
+# barrier, mid state-collection, mid rename, after the last cut.
+#
+# Usage:
+#   scripts/crash_smoke.sh              # 20 kill+resume iterations
+#   ITERATIONS=5 scripts/crash_smoke.sh # quicker
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+RUN_TIMEOUT=${RUN_TIMEOUT:-120}
+ITERATIONS=${ITERATIONS:-20}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target covtype_adaptive -j"$(nproc)" >/dev/null
+
+ADAPTIVE="$BUILD_DIR/examples/covtype_adaptive"
+CKPT_DIR="$BUILD_DIR/crash_smoke_ckpt"
+COMMON_ARGS=(--scale 0.005 --budget 4)
+
+for ((i = 0; i < ITERATIONS; ++i)); do
+  # Sweep the crash point across the run; alternate the crashing worker.
+  frac=$(awk -v i="$i" -v n="$ITERATIONS" \
+    'BEGIN { printf "%.3f", 0.10 + 0.80 * i / (n - 1) }')
+  worker=$((i % 2))
+  rm -rf "$CKPT_DIR"
+  echo "=== iteration $i: crash worker=$worker atfrac=$frac ==="
+
+  crash_log="$BUILD_DIR/crash_smoke_$i.log"
+  set +e
+  timeout "$RUN_TIMEOUT" "$ADAPTIVE" "${COMMON_ARGS[@]}" \
+    --checkpoint-dir "$CKPT_DIR" \
+    --fault-plan "crash:worker=$worker,atfrac=$frac" \
+    >"$crash_log" 2>&1
+  status=$?
+  set -e
+  if [[ $status -ne 137 && $status -ne 0 ]]; then
+    echo "FAIL: crash leg exited $status (expected 137 SIGKILL or 0)"
+    tail -25 "$crash_log"
+    exit 1
+  fi
+
+  had_checkpoint=0
+  compgen -G "$CKPT_DIR/ckpt-*.hetsgd" >/dev/null && had_checkpoint=1
+
+  resume_log="$BUILD_DIR/crash_smoke_${i}_resume.log"
+  if ! timeout "$RUN_TIMEOUT" "$ADAPTIVE" "${COMMON_ARGS[@]}" \
+      --checkpoint-dir "$CKPT_DIR" --resume "$CKPT_DIR" \
+      >"$resume_log" 2>&1; then
+    echo "FAIL: resume leg crashed, hung, or hit non-finite loss"
+    tail -25 "$resume_log"
+    exit 1
+  fi
+  if [[ $had_checkpoint -eq 1 ]] \
+      && ! grep -q "resumed from checkpoint" "$resume_log"; then
+    echo "FAIL: checkpoints existed but the restart did not resume"
+    tail -25 "$resume_log"
+    exit 1
+  fi
+  if ! grep -q "final loss" "$resume_log"; then
+    echo "FAIL: resume leg produced no final loss"
+    tail -25 "$resume_log"
+    exit 1
+  fi
+  if [[ $status -eq 137 ]]; then
+    killed="killed as planned"
+  else
+    killed="finished before the crash point"
+  fi
+  if [[ $had_checkpoint -eq 1 ]]; then
+    echo "  crash leg $killed; resumed from checkpoint: OK"
+  else
+    echo "  crash leg $killed before the first cut; fresh restart: OK"
+  fi
+done
+
+echo "=== $ITERATIONS kill+resume iterations, all restarts recovered ==="

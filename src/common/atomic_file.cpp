@@ -1,0 +1,149 @@
+#include "common/atomic_file.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace hetsgd {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::write_bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), bytes, bytes + size);
+}
+
+void ByteWriter::write_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::write_u32(std::uint32_t v) { write_bytes(&v, sizeof(v)); }
+
+void ByteWriter::write_u64(std::uint64_t v) { write_bytes(&v, sizeof(v)); }
+
+void ByteWriter::write_i64(std::int64_t v) { write_bytes(&v, sizeof(v)); }
+
+void ByteWriter::write_f64(double v) { write_bytes(&v, sizeof(v)); }
+
+void ByteWriter::write_string(const std::string& s) {
+  write_u64(static_cast<std::uint64_t>(s.size()));
+  write_bytes(s.data(), s.size());
+}
+
+bool ByteReader::read_bytes(void* out, std::size_t size) {
+  if (failed_ || size > size_ - pos_) {
+    failed_ = true;
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+bool ByteReader::read_u8(std::uint8_t* v) { return read_bytes(v, sizeof(*v)); }
+
+bool ByteReader::read_u32(std::uint32_t* v) {
+  return read_bytes(v, sizeof(*v));
+}
+
+bool ByteReader::read_u64(std::uint64_t* v) {
+  return read_bytes(v, sizeof(*v));
+}
+
+bool ByteReader::read_i64(std::int64_t* v) {
+  return read_bytes(v, sizeof(*v));
+}
+
+bool ByteReader::read_f64(double* v) { return read_bytes(v, sizeof(*v)); }
+
+bool ByteReader::read_string(std::string* s) {
+  std::uint64_t len = 0;
+  if (!read_u64(&len)) return false;
+  if (len > remaining()) {
+    failed_ = true;
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(data_ + pos_),
+            static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return true;
+}
+
+bool atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    // The one sanctioned raw-ofstream write site for durable state; every
+    // other writer must route through this helper (enforced by
+    // tools/lint/hetsgd_lint.py ckpt-ofstream).
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out.good()) {
+      if (error != nullptr) {
+        *error = "write to " + tmp + " failed (disk full or I/O error)";
+      }
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "rename " + tmp + " -> " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>* out,
+               std::string* error) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  const std::streamsize size = in.tellg();
+  if (size < 0) {
+    if (error != nullptr) *error = "cannot stat " + path;
+    return false;
+  }
+  out->resize(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(out->data()), size);
+  if (!in.good() && size > 0) {
+    if (error != nullptr) *error = "short read from " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hetsgd

@@ -1,0 +1,93 @@
+// Crash-consistent file writing and checkpoint byte (de)serialization.
+//
+// A checkpoint that can be torn by a crash is worse than no checkpoint: a
+// resume that trusts it silently corrupts the run. Every durable artifact
+// in the framework therefore goes through atomic_write_file — write to a
+// sibling temp file, flush, verify the stream, rename over the target — so
+// a reader only ever observes the old complete file or the new complete
+// file, never a prefix. CRC32 (computed over the serialized payload by the
+// format layers in nn/serialize) catches the remaining corruption modes:
+// bit rot, partial sector writes under power loss, hand-edited files.
+//
+// ByteWriter/ByteReader serialize checkpoint payloads in memory first:
+// checkpoints are small (model + counters), a contiguous buffer makes the
+// CRC trivial, and the atomic writer receives the payload as one blob.
+// Endianness follows the host (checkpoints are not a wire format).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetsgd {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+// `seed` chains incremental computations; pass the previous result.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+// Accumulates a serialized payload in memory. Fixed-width little-struct
+// encoding: integers and doubles are memcpy'd in host order.
+class ByteWriter {
+ public:
+  void write_bytes(const void* data, std::size_t size);
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f64(double v);
+  // u64 length prefix + raw bytes.
+  void write_string(const std::string& s);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Bounds-checked reader over a serialized payload. Every read returns
+// false (and poisons the reader) on overrun instead of reading garbage —
+// a truncated or corrupt checkpoint must fail soft, never abort.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  bool read_bytes(void* out, std::size_t size);
+  bool read_u8(std::uint8_t* v);
+  bool read_u32(std::uint32_t* v);
+  bool read_u64(std::uint64_t* v);
+  bool read_i64(std::int64_t* v);
+  bool read_f64(double* v);
+  // Rejects lengths beyond the remaining payload (corrupt length fields
+  // must not turn into gigabyte allocations).
+  bool read_string(std::string* s);
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool ok() const { return !failed_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// Atomically replaces `path` with `size` bytes of `data`: writes
+// `path`.tmp, flushes, verifies the stream after write+flush (a full disk
+// or EIO must surface here, not as a silently truncated file), then
+// renames over `path`. On any failure the temp file is removed, any
+// previous file at `path` is left intact, *error receives the reason, and
+// false is returned.
+bool atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size, std::string* error);
+
+// Reads the whole file into *out. Returns false with *error on a missing
+// or unreadable file.
+bool read_file(const std::string& path, std::vector<std::uint8_t>* out,
+               std::string* error);
+
+}  // namespace hetsgd

@@ -109,4 +109,24 @@ Rng Rng::fork(std::uint64_t stream) const {
   return Rng(seed);
 }
 
+RngState Rng::state() const {
+  RngState st;
+  st.s[0] = s_[0];
+  st.s[1] = s_[1];
+  st.s[2] = s_[2];
+  st.s[3] = s_[3];
+  st.cached_normal = cached_normal_;
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  s_[0] = state.s[0];
+  s_[1] = state.s[1];
+  s_[2] = state.s[2];
+  s_[3] = state.s[3];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 }  // namespace hetsgd

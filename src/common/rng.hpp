@@ -15,6 +15,24 @@ namespace hetsgd {
 // splitmix64 step; used for seeding and as a cheap standalone mixer.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+// Complete serializable generator state. Checkpoint/resume restores a
+// stream mid-sequence, so the Box-Muller cache must travel with the
+// xoshiro words — dropping it would shift every subsequent normal() draw.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  friend bool operator==(const RngState& a, const RngState& b) {
+    return a.s[0] == b.s[0] && a.s[1] == b.s[1] && a.s[2] == b.s[2] &&
+           a.s[3] == b.s[3] && a.has_cached_normal == b.has_cached_normal &&
+           (!a.has_cached_normal || a.cached_normal == b.cached_normal);
+  }
+  friend bool operator!=(const RngState& a, const RngState& b) {
+    return !(a == b);
+  }
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
@@ -47,6 +65,11 @@ class Rng {
   // Forks an independent generator: deterministic function of this
   // generator's state and `stream`, without perturbing this generator.
   Rng fork(std::uint64_t stream) const;
+
+  // Snapshot / restore for checkpointing. A generator with a restored
+  // state replays exactly the sequence the original would have produced.
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

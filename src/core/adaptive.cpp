@@ -15,7 +15,8 @@ AdaptiveController::AdaptiveController(double alpha) : alpha_(alpha) {
 }
 
 void AdaptiveController::register_worker(msg::WorkerId id,
-                                         const WorkerLimits& limits) {
+                                         const WorkerLimits& limits,
+                                         std::uint64_t baseline_updates) {
   HETSGD_ASSERT(id == static_cast<msg::WorkerId>(workers_.size()),
                 "worker ids must be registered densely from 0");
   HETSGD_ASSERT(limits.quantum >= 1, "quantum must be positive");
@@ -26,7 +27,24 @@ void AdaptiveController::register_worker(msg::WorkerId id,
   State s;
   s.limits = limits;
   s.batch = clamp_to_quantum(limits.initial, limits);
+  s.offset = baseline_updates;
   workers_.push_back(s);
+}
+
+void AdaptiveController::retire_worker(msg::WorkerId id) {
+  HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
+                "unknown worker");
+  workers_[static_cast<std::size_t>(id)].retired = true;
+}
+
+void AdaptiveController::restore_worker(msg::WorkerId id, Index batch,
+                                        std::uint64_t updates) {
+  HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
+                "unknown worker");
+  State& s = workers_[static_cast<std::size_t>(id)];
+  s.batch = clamp_to_quantum(batch, s.limits);
+  s.updates = updates;
+  s.offset = 0;
 }
 
 Index AdaptiveController::batch(msg::WorkerId id) const {
@@ -38,7 +56,8 @@ Index AdaptiveController::batch(msg::WorkerId id) const {
 std::uint64_t AdaptiveController::updates(msg::WorkerId id) const {
   HETSGD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < workers_.size(),
                 "unknown worker");
-  return workers_[static_cast<std::size_t>(id)].updates;
+  const State& s = workers_[static_cast<std::size_t>(id)];
+  return s.offset + s.updates;
 }
 
 Index AdaptiveController::clamp_to_quantum(Index b,
@@ -56,27 +75,29 @@ Index AdaptiveController::on_request(msg::WorkerId id, std::uint64_t updates) {
   State& e = workers_[static_cast<std::size_t>(id)];
   HETSGD_ASSERT(updates >= e.updates, "update counts must be monotone");
   e.updates = updates;
+  if (e.retired) return e.batch;
 
-  // min_u / max_u over the other workers.
+  // min_u / max_u over the other (non-retired) workers, offset-credited.
   std::uint64_t min_u = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t max_u = 0;
   bool any_other = false;
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (static_cast<msg::WorkerId>(i) == id) continue;
-    min_u = std::min(min_u, workers_[i].updates);
-    max_u = std::max(max_u, workers_[i].updates);
+    if (static_cast<msg::WorkerId>(i) == id || workers_[i].retired) continue;
+    const std::uint64_t u = workers_[i].offset + workers_[i].updates;
+    min_u = std::min(min_u, u);
+    max_u = std::max(max_u, u);
     any_other = true;
   }
   if (!any_other) {
     return e.batch;  // single worker: nothing to balance against
   }
 
-  if (e.updates < min_u) {
+  if (e.offset + e.updates < min_u) {
     // Slowest worker: shrink the batch to produce updates faster.
     const Index shrunk = static_cast<Index>(
         std::floor(static_cast<double>(e.batch) / alpha_));
     e.batch = clamp_to_quantum(std::max(shrunk, e.limits.min), e.limits);
-  } else if (e.updates > max_u) {
+  } else if (e.offset + e.updates > max_u) {
     // Fastest worker: grow the batch to slow its update rate.
     const Index grown = static_cast<Index>(
         std::ceil(static_cast<double>(e.batch) * alpha_));

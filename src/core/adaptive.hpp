@@ -35,10 +35,27 @@ class AdaptiveController {
   };
 
   // Registers worker `id` (dense from 0) with its batch thresholds.
-  void register_worker(msg::WorkerId id, const WorkerLimits& limits);
+  // `baseline_updates` credits a worker that joins an in-progress run
+  // (elastic membership): the newcomer's raw counter starts at zero, so
+  // without the credit Algorithm 2 would see it as "slowest" and shrink
+  // its batch to the minimum until it caught up on absolute count. The
+  // offset is applied in comparisons only — reported counters stay raw.
+  void register_worker(msg::WorkerId id, const WorkerLimits& limits,
+                       std::uint64_t baseline_updates = 0);
+
+  // Marks a worker as retired: it no longer participates in the min/max
+  // comparison and its own requests return the batch unchanged.
+  void retire_worker(msg::WorkerId id);
+
+  // Checkpoint restore: overwrite a worker's batch (clamped to its
+  // thresholds) and cumulative update count.
+  void restore_worker(msg::WorkerId id, tensor::Index batch,
+                      std::uint64_t updates);
 
   std::size_t worker_count() const { return workers_.size(); }
   tensor::Index batch(msg::WorkerId id) const;
+  // Cumulative updates credited to `id`: raw reported count plus any
+  // join-time baseline offset.
   std::uint64_t updates(msg::WorkerId id) const;
 
   // Algorithm 2 lines 1-5: records u^E and returns the (possibly resized)
@@ -52,6 +69,8 @@ class AdaptiveController {
     WorkerLimits limits;
     tensor::Index batch = 0;
     std::uint64_t updates = 0;
+    std::uint64_t offset = 0;  // join-time baseline credit
+    bool retired = false;
   };
 
   tensor::Index clamp_to_quantum(tensor::Index b,

@@ -128,6 +128,11 @@ struct TrainingConfig {
   // every recovery layer off, matching pre-fault-tolerant behavior.
   FaultToleranceConfig fault;
 
+  // Elastic membership plan (core/elastic.hpp spec syntax): workers to
+  // join or retire mid-run at chosen virtual times. Empty = fixed
+  // membership for the whole run.
+  std::string elastic_plan;
+
   // Effective learning rate for an update computed over `update_batch`
   // examples.
   double effective_lr(tensor::Index update_batch) const;

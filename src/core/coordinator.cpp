@@ -21,6 +21,7 @@ Coordinator::Coordinator(data::Dataset& dataset, nn::Model& model,
     : msg::Actor("coordinator"), dataset_(dataset), model_(model),
       config_(config),
       adaptive_enabled_(config.algorithm == Algorithm::kAdaptiveHogbatch),
+      fingerprint_(config_fingerprint(config, dataset)),
       adaptive_(config.alpha), cpu_perf_(config.cpu.spec),
       gpu_perf_(config.gpu.spec), eval_snapshot_(model),
       rng_(config.seed ^ 0xc0ffee), last_good_model_(model) {
@@ -73,18 +74,29 @@ void Coordinator::on_start() {
   MutexLock lock(mu_);
   HETSGD_ASSERT(!workers_.empty(), "coordinator needs at least one worker");
   monitor_ = std::make_unique<UtilizationMonitor>(workers_.size());
-  if (config_.eval_interval_vseconds > 0.0) {
+  // A resumed run already restored its eval/checkpoint cadence cursors;
+  // re-seeding them at the first grid point would replay every eval the
+  // original run performed before the cut.
+  if (!resumed_ && config_.eval_interval_vseconds > 0.0) {
     next_eval_vtime_ = config_.eval_interval_vseconds;
   }
-  if (config_.fault.checkpoint_interval_vseconds > 0.0 &&
+  if (!resumed_ && config_.fault.checkpoint_interval_vseconds > 0.0 &&
       !config_.fault.checkpoint_path.empty()) {
     next_checkpoint_vtime_ = config_.fault.checkpoint_interval_vseconds;
   }
-  if (fault_layer_enabled()) {
-    // Real-time fallback heartbeat for the all-workers-silent case.
+  if (ckpt_mgr_ != nullptr && !resumed_ &&
+      config_.fault.checkpoint_interval_vseconds > 0.0) {
+    next_full_ckpt_vtime_ = config_.fault.checkpoint_interval_vseconds;
+  }
+  if (fault_layer_enabled() || ckpt_mgr_ != nullptr) {
+    // Real-time fallback heartbeat: all-workers-silent detection, and the
+    // state-collection timeout of a pending checkpoint cut.
     set_idle_interval(std::chrono::milliseconds(20));
   }
-  evaluate_loss(0.0);
+  // A resumed run restored its loss curve (including the point the
+  // original run evaluated at vtime 0); re-evaluating here would insert a
+  // duplicate and desync the curve from the uninterrupted trajectory.
+  if (!resumed_) evaluate_loss(0.0);
   try_dispatch_all();
 }
 
@@ -96,8 +108,19 @@ bool Coordinator::handle(msg::Envelope envelope) {
   } else if (std::holds_alternative<msg::WorkerFault>(envelope.message)) {
     on_worker_fault(std::get<msg::WorkerFault>(envelope.message));
   } else if (std::holds_alternative<msg::ShutdownAck>(envelope.message)) {
-    ++shutdown_acks_;
-    if (shutdown_acks_ >= expected_acks_) loop_done_ = true;
+    // Only final-shutdown acks count toward loop exit; a mid-run
+    // retirement also Shutdowns its worker, and that ack must not
+    // terminate the coordinator.
+    if (shutting_down_) {
+      ++shutdown_acks_;
+      if (shutdown_acks_ >= expected_acks_) loop_done_ = true;
+    }
+  } else if (std::holds_alternative<msg::StateReport>(envelope.message)) {
+    on_state_report(std::get<msg::StateReport>(envelope.message));
+  } else if (std::holds_alternative<msg::WorkerJoin>(envelope.message)) {
+    on_worker_join(std::get<msg::WorkerJoin>(envelope.message).worker);
+  } else if (std::holds_alternative<msg::WorkerRetire>(envelope.message)) {
+    on_worker_retire(std::get<msg::WorkerRetire>(envelope.message).worker);
   } else {
     HETSGD_LOG_WARN("coordinator", "unexpected message variant %zu",
                     envelope.message.index());
@@ -107,7 +130,26 @@ bool Coordinator::handle(msg::Envelope envelope) {
 
 bool Coordinator::on_idle() {
   MutexLock lock(mu_);
-  if (shutting_down_ || !fault_layer_enabled()) return !loop_done_;
+  if (shutting_down_) return !loop_done_;
+  if (ckpt_pending_) {
+    // A checkpoint cut is collecting worker state. A live worker answers a
+    // StateRequest promptly (it is idle at the epoch barrier), so extended
+    // silence means the laggards are dead: stop waiting, cut with what
+    // arrived, and let the run proceed.
+    const std::int64_t grace =
+        std::max<std::int64_t>(1, config_.fault.stall_grace_ticks);
+    if (++ckpt_ticks_ >= 4 * grace) {
+      HETSGD_LOG_WARN("coordinator",
+                      "checkpoint cut timed out waiting on %zu worker(s); "
+                      "writing partial worker state",
+                      ckpt_waiting_.size());
+      ckpt_waiting_.clear();
+      maybe_complete_checkpoint();
+      try_dispatch_all();
+    }
+    return !loop_done_;
+  }
+  if (!fault_layer_enabled()) return !loop_done_;
   if (!any_busy()) {
     idle_ticks_ = 0;
     return true;
@@ -225,7 +267,7 @@ void Coordinator::on_schedule(const msg::ScheduleWork& report) {
     }
   }
   w.busy = false;
-  w.waiting = !w.failed;  // a live worker is asking for more
+  w.waiting = !w.failed && !w.retired;  // a live worker is asking for more
 
   if (adaptive_enabled_) {
     const Index next = adaptive_.on_request(id, report.updates);
@@ -256,6 +298,9 @@ void Coordinator::on_worker_fault(const msg::WorkerFault& fault) {
     ledger_.record_fault(
         {fault.vtime, id, FaultKind::kQuarantine, 0, "fatal worker fault"});
   }
+  // A dead worker will never answer a pending StateRequest.
+  drop_ckpt_peer(id);
+  maybe_complete_checkpoint();
   try_dispatch_all();
 }
 
@@ -309,7 +354,10 @@ void Coordinator::note_fault(msg::WorkerId id, double vtime) {
 }
 
 void Coordinator::try_dispatch_all() {
-  if (shutting_down_) return;
+  // No dispatch while a checkpoint cut is collecting worker state: the cut
+  // must capture a quiescent barrier, and the deferred epoch restart has
+  // not happened yet (cursor_ still points past the old permutation).
+  if (shutting_down_ || ckpt_pending_) return;
 
   // Retire workers that reached the time budget first: a stale
   // not-yet-finished flag would otherwise hold the epoch barrier open for
@@ -534,6 +582,21 @@ void Coordinator::maybe_flip_epoch() {
     begin_shutdown();
     return;
   }
+
+  // Full-checkpoint cut point. This exact spot — after the epoch counter,
+  // loss evaluation, and boundary bookkeeping, but BEFORE the reshuffle —
+  // is what makes resume deterministic: at a cut with epoch_ == k exactly
+  // k-1 dataset shuffles have consumed the coordinator RNG, so restore()
+  // can replay them, verify the stream, and perform shuffle #k itself.
+  if (full_checkpoint_due()) {
+    begin_full_checkpoint();
+    if (ckpt_pending_) {
+      // Epoch restart (shuffle + cursor) deferred until every StateReport
+      // arrives; maybe_complete_checkpoint() finishes the flip.
+      return;
+    }
+    write_full_checkpoint();  // nobody to ask: cut synchronously
+  }
   dataset_.shuffle(rng_);
   cursor_ = 0;
 }
@@ -622,6 +685,11 @@ void Coordinator::maybe_eval_checkpoints() {
 void Coordinator::begin_shutdown() {
   if (shutting_down_) return;
   shutting_down_ = true;
+  // Abandon any in-flight checkpoint cut: a divergence abort can land
+  // between StateRequest and the replies, and a half-collected cut must
+  // not be written.
+  ckpt_pending_ = false;
+  ckpt_waiting_.clear();
   // Account for any still-in-flight dispatches (divergence aborts can stop
   // the run mid-batch): their ranges are reclaimed-but-never-re-dispatched
   // so the ledger invariant holds at exit, and eventual reports fold in as
@@ -633,14 +701,347 @@ void Coordinator::begin_shutdown() {
     }
   }
   // Count only sends that actually landed: a dead worker's mailbox is
-  // closed and will never ack, and waiting on it would hang the join.
+  // closed and will never ack, and waiting on it would hang the join. A
+  // retired worker already got its Shutdown at retirement — sending again
+  // (and expecting a second ack) would hang the loop.
   expected_acks_ = 0;
   for (auto& w : workers_) {
+    if (w.retired) continue;
     if (w.actor->send({msg::kCoordinator, msg::Shutdown{}})) {
       ++expected_acks_;
     }
   }
   if (shutdown_acks_ >= expected_acks_) loop_done_ = true;
+}
+
+void Coordinator::set_checkpoint_manager(CheckpointManager* manager) {
+  MutexLock lock(mu_);
+  ckpt_mgr_ = manager;
+}
+
+bool Coordinator::restore(const TrainingCheckpoint& ckpt, std::string* error) {
+  MutexLock lock(mu_);
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (ckpt.workers.size() != workers_.size()) {
+    return fail("checkpoint has " + std::to_string(ckpt.workers.size()) +
+                " workers, this run has " + std::to_string(workers_.size()));
+  }
+  if (ckpt.epoch == 0) {
+    return fail("checkpoint has no completed epoch");
+  }
+
+  // Replay the permutation history. The constructor already consumed the
+  // eval-sample shuffle; each of the original run's epoch flips before the
+  // cut consumed one dataset shuffle. The cut sits before shuffle #epoch,
+  // so epoch-1 replays must land the generator exactly on the persisted
+  // state — anything else means the seed, dataset, or eval sample differ
+  // from the checkpointing run, and continuing would silently fork the
+  // trajectory.
+  for (std::uint64_t e = 1; e < ckpt.epoch; ++e) {
+    dataset_.shuffle(rng_);
+  }
+  if (rng_.state() != ckpt.rng) {
+    return fail("RNG replay mismatch: this process's shuffle stream differs "
+                "from the checkpointing run (config or dataset changed?)");
+  }
+  // Enter the post-cut state: perform the shuffle the cut deferred.
+  dataset_.shuffle(rng_);
+  cursor_ = 0;
+
+  model_ = ckpt.model;
+  last_good_model_ = ckpt.model;
+  last_good_loss_ = ckpt.last_good_loss;
+  has_last_good_ = true;
+
+  epoch_ = ckpt.epoch;
+  epoch_start_vtime_ = ckpt.epoch_start_vtime;
+  next_eval_vtime_ = ckpt.next_eval_vtime;
+  next_full_ckpt_vtime_ = ckpt.next_checkpoint_vtime;
+  lr_scale_ = ckpt.lr_scale;
+  rollbacks_ = ckpt.rollbacks;
+  examples_dispatched_ = ckpt.examples_dispatched;
+  examples_reclaimed_ = ckpt.examples_reclaimed;
+  late_reports_ = ckpt.late_reports;
+  late_examples_ = ckpt.late_examples;
+  checkpoints_written_ = ckpt.checkpoints_written;
+  curve_ = ckpt.curve;
+
+  for (const WorkerCheckpoint& wc : ckpt.workers) {
+    if (wc.id < 0 || static_cast<std::size_t>(wc.id) >= workers_.size()) {
+      return fail("checkpoint names unknown worker " + std::to_string(wc.id));
+    }
+    const WorkerRuntime& w = workers_[static_cast<std::size_t>(wc.id)];
+    if (static_cast<std::uint8_t>(w.kind) != wc.kind) {
+      return fail("worker " + std::to_string(wc.id) +
+                  " device kind differs from the checkpointing run");
+    }
+    ledger_.restore_stats(wc.stats);
+    adaptive_.restore_worker(wc.id, wc.adaptive_batch, wc.adaptive_updates);
+  }
+  // The legacy model-only auto-checkpoint cadence is not persisted (its
+  // output is a single overwritten file); re-seed it past the restored
+  // frontier so it keeps firing on the same grid.
+  if (config_.fault.checkpoint_interval_vseconds > 0.0 &&
+      !config_.fault.checkpoint_path.empty()) {
+    next_checkpoint_vtime_ = config_.fault.checkpoint_interval_vseconds;
+    while (next_checkpoint_vtime_ <= ledger_.max_clock()) {
+      next_checkpoint_vtime_ += config_.fault.checkpoint_interval_vseconds;
+    }
+  }
+  resumed_ = true;
+  return true;
+}
+
+bool Coordinator::full_checkpoint_due() const {
+  if (ckpt_mgr_ == nullptr) return false;
+  // interval == 0 with a manager attached means "every epoch flip".
+  if (config_.fault.checkpoint_interval_vseconds <= 0.0) return true;
+  return ledger_.max_clock() >= next_full_ckpt_vtime_;
+}
+
+void Coordinator::begin_full_checkpoint() {
+  ckpt_waiting_.clear();
+  ckpt_blobs_.clear();
+  ckpt_ticks_ = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    WorkerRuntime& w = workers_[i];
+    if (w.failed || w.quarantined || w.retired) continue;
+    const auto id = static_cast<msg::WorkerId>(i);
+    if (w.actor->send({msg::kCoordinator, msg::StateRequest{}})) {
+      ckpt_waiting_.push_back(id);
+    }
+  }
+  ckpt_pending_ = !ckpt_waiting_.empty();
+}
+
+void Coordinator::on_state_report(const msg::StateReport& report) {
+  if (!ckpt_pending_) {
+    // A reply that arrived after the cut timed out (or was abandoned at
+    // shutdown); the checkpoint already went out without it.
+    return;
+  }
+  ckpt_blobs_.push_back({report.worker, report.state});
+  drop_ckpt_peer(report.worker);
+  maybe_complete_checkpoint();
+  try_dispatch_all();
+}
+
+void Coordinator::drop_ckpt_peer(msg::WorkerId id) {
+  ckpt_waiting_.erase(
+      std::remove(ckpt_waiting_.begin(), ckpt_waiting_.end(), id),
+      ckpt_waiting_.end());
+}
+
+void Coordinator::maybe_complete_checkpoint() {
+  if (!ckpt_pending_ || !ckpt_waiting_.empty()) return;
+  ckpt_pending_ = false;
+  write_full_checkpoint();
+  // Perform the epoch restart the cut deferred (see maybe_flip_epoch).
+  dataset_.shuffle(rng_);
+  cursor_ = 0;
+}
+
+void Coordinator::write_full_checkpoint() {
+  HETSGD_ASSERT(ckpt_mgr_ != nullptr, "checkpoint write without a manager");
+  TrainingCheckpoint ckpt;
+  ckpt.fingerprint = fingerprint_;
+  ckpt.seed = config_.seed;
+  // hetsgd-racy: quiescent at the epoch barrier — every worker is idle, so
+  // this read of the shared model does not race (nn::Model copy is also in
+  // tsan.supp for the mid-run divergence path).
+  ckpt.model = model_;
+  // Captured BEFORE the deferred shuffle: restore() replays epoch-1
+  // shuffles, checks this state, then shuffles once itself.
+  ckpt.rng = rng_.state();
+  ckpt.epoch = epoch_;
+  ckpt.epoch_start_vtime = epoch_start_vtime_;
+  ckpt.next_eval_vtime = next_eval_vtime_;
+  ckpt.lr_scale = lr_scale_;
+  ckpt.rollbacks = rollbacks_;
+  ckpt.examples_dispatched = examples_dispatched_;
+  ckpt.examples_reclaimed = examples_reclaimed_;
+  ckpt.late_reports = late_reports_;
+  ckpt.late_examples = late_examples_;
+  ckpt.last_good_loss = last_good_loss_;
+  ckpt.curve = curve_;
+
+  // Advance the cadence before persisting so the resumed run continues it
+  // rather than immediately cutting again.
+  if (config_.fault.checkpoint_interval_vseconds > 0.0) {
+    const double progress = ledger_.max_clock();
+    while (next_full_ckpt_vtime_ <= progress) {
+      next_full_ckpt_vtime_ += config_.fault.checkpoint_interval_vseconds;
+    }
+  }
+  ckpt.next_checkpoint_vtime = next_full_ckpt_vtime_;
+  ckpt.checkpoints_written = checkpoints_written_ + 1;
+
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const auto id = static_cast<msg::WorkerId>(i);
+    WorkerCheckpoint wc;
+    wc.id = id;
+    wc.kind = static_cast<std::uint8_t>(workers_[i].kind);
+    wc.stats = ledger_.stats(id);
+    wc.adaptive_batch = adaptive_.batch(id);
+    wc.adaptive_updates = adaptive_.updates(id);
+    for (const auto& [bid, blob] : ckpt_blobs_) {
+      if (bid == id) {
+        wc.state = blob;
+        break;
+      }
+    }
+    ckpt.workers.push_back(std::move(wc));
+  }
+  ckpt_blobs_.clear();
+
+  std::string error;
+  if (ckpt_mgr_->save(ckpt, &error)) {
+    ++checkpoints_written_;
+  } else {
+    // Durability degrades, correctness does not: the run continues and the
+    // next barrier tries again.
+    HETSGD_LOG_WARN("coordinator", "checkpoint save failed: %s",
+                    error.c_str());
+  }
+}
+
+msg::WorkerId Coordinator::join_worker(
+    msg::Actor& actor, gpusim::DeviceKind kind,
+    const AdaptiveController::WorkerLimits& limits) {
+  msg::WorkerId id = -1;
+  {
+    MutexLock lock(mu_);
+    if (shutting_down_) return -1;
+    id = static_cast<msg::WorkerId>(workers_.size());
+    WorkerRuntime w;
+    w.actor = &actor;
+    w.kind = kind;
+    w.limits = limits;
+    w.waiting = true;
+    workers_.push_back(w);
+
+    // Seed the newcomer's batch from the cost model so its first dispatch
+    // is cost-matched to its peers, and credit it with the minimum peer
+    // update count so Algorithm 2 treats it as a peer rather than an
+    // all-time straggler.
+    const Index seeded = seed_batch_from_cost_model(workers_.back(), limits);
+    std::uint64_t baseline = 0;
+    bool have_baseline = false;
+    for (std::size_t i = 0; i + 1 < workers_.size(); ++i) {
+      const WorkerRuntime& peer = workers_[i];
+      if (peer.failed || peer.quarantined || peer.retired) continue;
+      const auto pid = static_cast<msg::WorkerId>(i);
+      const std::uint64_t u = adaptive_.updates(pid);
+      if (!have_baseline || u < baseline) {
+        baseline = u;
+        have_baseline = true;
+      }
+    }
+    AdaptiveController::WorkerLimits seeded_limits = limits;
+    seeded_limits.initial = seeded;
+    ledger_.register_worker(id, actor.name(), kind, seeded);
+    adaptive_.register_worker(id, seeded_limits, baseline);
+    if (monitor_ != nullptr) monitor_->add_worker();
+    ++joins_;
+    ledger_.record_fault({ledger_.max_clock(), id, FaultKind::kWorkerJoin,
+                          0, "worker joined (batch seeded from cost model)"});
+  }
+  // Nudge the scheduling loop on its own thread; if the loop already
+  // exited the newcomer simply never receives work.
+  send({msg::kCoordinator, msg::WorkerJoin{id}});
+  return id;
+}
+
+bool Coordinator::retire_worker(msg::WorkerId id) {
+  {
+    MutexLock lock(mu_);
+    if (shutting_down_) return false;
+    if (id < 0 || static_cast<std::size_t>(id) >= workers_.size()) {
+      return false;
+    }
+    if (workers_[static_cast<std::size_t>(id)].retired) return false;
+  }
+  // The actual retirement runs on the coordinator loop, serialized with
+  // scheduling decisions.
+  return send({msg::kCoordinator, msg::WorkerRetire{id}});
+}
+
+void Coordinator::on_worker_join(msg::WorkerId id) {
+  HETSGD_LOG_INFO("coordinator", "worker %d joined the run", id);
+  try_dispatch_all();
+}
+
+void Coordinator::on_worker_retire(msg::WorkerId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= workers_.size()) return;
+  WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
+  if (w.retired || shutting_down_) return;
+  const double vtime = ledger_.max_clock();
+  w.retired = true;
+  ++retires_;
+  // Its in-flight batch (if any) goes back to the pool for the survivors;
+  // the ledger invariant dispatched == reported + reclaimed is preserved,
+  // and a report it sends for the reclaimed range folds in as late.
+  reclaim_inflight(id, vtime, "worker retired");
+  w.busy = false;
+  w.waiting = false;
+  adaptive_.retire_worker(id);
+  ledger_.record_fault({vtime, id, FaultKind::kWorkerRetire, 0,
+                        "worker retired from membership"});
+  HETSGD_LOG_INFO("coordinator", "worker %d retired from the run", id);
+  if (!w.failed && !w.actor->send({msg::kCoordinator, msg::Shutdown{}})) {
+    w.failed = true;  // mailbox already closed; nothing to wind down
+  }
+  // It will not answer a pending StateRequest anymore.
+  drop_ckpt_peer(id);
+  maybe_complete_checkpoint();
+  try_dispatch_all();
+}
+
+tensor::Index Coordinator::seed_batch_from_cost_model(
+    const WorkerRuntime& w,
+    const AdaptiveController::WorkerLimits& limits) const {
+  // Mean estimated batch cost over the active peers.
+  double total_cost = 0.0;
+  int peers = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerRuntime& peer = workers_[i];
+    if (&peer == &w) continue;
+    if (peer.failed || peer.quarantined || peer.retired || peer.finished) {
+      continue;
+    }
+    const auto pid = static_cast<msg::WorkerId>(i);
+    total_cost += estimate_cost(peer, ledger_.current_batch(pid));
+    ++peers;
+  }
+  const Index quantum = std::max<Index>(1, limits.quantum);
+  if (peers == 0) return limits.initial;
+  const double target = total_cost / peers;
+
+  // estimate_cost is monotone in the batch size: binary-search the
+  // smallest quantum multiple whose cost reaches the target, then take the
+  // nearer of it and its predecessor.
+  Index klo = std::max<Index>(1, (limits.min + quantum - 1) / quantum);
+  Index khi = std::max<Index>(klo, limits.max / quantum);
+  while (klo < khi) {
+    const Index kmid = klo + (khi - klo) / 2;
+    if (estimate_cost(w, kmid * quantum) < target) {
+      klo = kmid + 1;
+    } else {
+      khi = kmid;
+    }
+  }
+  Index best = klo * quantum;
+  if (klo > 1) {
+    const Index below = (klo - 1) * quantum;
+    if (std::abs(estimate_cost(w, below) - target) <
+        std::abs(estimate_cost(w, best) - target)) {
+      best = below;
+    }
+  }
+  return std::clamp(best, limits.min, limits.max);
 }
 
 bool Coordinator::any_busy() const {
@@ -652,7 +1053,7 @@ bool Coordinator::any_busy() const {
 
 bool Coordinator::all_finished() const {
   for (const auto& w : workers_) {
-    if (w.failed || w.quarantined || w.finished) continue;
+    if (w.failed || w.quarantined || w.finished || w.retired) continue;
     // A worker whose dispatch was reclaimed and has not reported since is
     // suspended: it holds no work and must not block shutdown (it may be
     // dead). If it does report later, the report folds in as late.

@@ -46,6 +46,7 @@
 
 #include "common/thread_annotations.hpp"
 #include "core/adaptive.hpp"
+#include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "core/fault.hpp"
 #include "core/update_ledger.hpp"
@@ -55,14 +56,6 @@
 #include "nn/mlp.hpp"
 
 namespace hetsgd::core {
-
-// One sample of the loss trajectory: virtual seconds, epochs-equivalent
-// of processed examples, and the (sampled) training loss.
-struct LossPoint {
-  double vtime = 0.0;
-  double epochs = 0.0;
-  double loss = 0.0;
-};
 
 class Coordinator final : public msg::Actor {
  public:
@@ -77,6 +70,42 @@ class Coordinator final : public msg::Actor {
   void add_worker(msg::Actor& actor, gpusim::DeviceKind kind,
                   const AdaptiveController::WorkerLimits& limits)
       HETSGD_EXCLUDES(mu_);
+
+  // --- crash-consistent checkpointing ------------------------------------
+  // Attaches the checkpoint sink. Call before start(); the manager must
+  // outlive the coordinator. With a manager attached, a full training
+  // checkpoint (model + optimizer state + RNG + clocks + ledger) is cut at
+  // the quiescent epoch barrier whenever fault.checkpoint_interval_vseconds
+  // of virtual time have elapsed (0 = every epoch flip).
+  void set_checkpoint_manager(CheckpointManager* manager) HETSGD_EXCLUDES(mu_);
+
+  // Restores coordinator state from a loaded checkpoint. Call after all
+  // workers are registered and before start(). Verifies that the RNG
+  // stream replayed over `ckpt.epoch - 1` dataset shuffles lands exactly
+  // on the checkpointed state — a mismatch means the config/dataset differ
+  // from the checkpointing run, and the restore is refused. Worker-local
+  // state (clocks, optimizer slots) is restored separately by the Trainer
+  // via each worker's restore_state().
+  bool restore(const TrainingCheckpoint& ckpt, std::string* error)
+      HETSGD_EXCLUDES(mu_);
+
+  // --- elastic membership -------------------------------------------------
+  // Registers a worker mid-run (thread-safe, callable while the run is in
+  // flight). Returns the assigned dense id, or -1 if the run is already
+  // shutting down. The caller starts the worker actor after this returns.
+  // The newcomer's first batch is seeded from the cost model to match the
+  // mean estimated batch cost of the active workers, and its Algorithm-2
+  // update baseline is set to the minimum peer count so the adaptive
+  // policy treats it as a peer rather than a straggler.
+  msg::WorkerId join_worker(msg::Actor& actor, gpusim::DeviceKind kind,
+                            const AdaptiveController::WorkerLimits& limits)
+      HETSGD_EXCLUDES(mu_);
+
+  // Retires a worker mid-run: its in-flight batch is reclaimed (preserving
+  // dispatched == reported + reclaimed), it stops receiving work, and it
+  // is sent Shutdown. Returns false if the id is unknown, already retired,
+  // or the run is shutting down.
+  bool retire_worker(msg::WorkerId id) HETSGD_EXCLUDES(mu_);
 
   // --- results -----------------------------------------------------------
   // Scalar accessors lock and are safe from any thread at any time. The
@@ -125,6 +154,18 @@ class Coordinator final : public msg::Actor {
     MutexLock lock(mu_);
     return checkpoints_written_;
   }
+  std::uint64_t workers_joined() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return joins_;
+  }
+  std::uint64_t workers_retired() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return retires_;
+  }
+  std::size_t worker_count() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return workers_.size();
+  }
   std::uint64_t quarantined_workers() const HETSGD_EXCLUDES(mu_);
   double lr_scale() const HETSGD_EXCLUDES(mu_) {
     MutexLock lock(mu_);
@@ -150,6 +191,7 @@ class Coordinator final : public msg::Actor {
     bool busy = false;
     bool waiting = false;   // has an unserved work request
     bool finished = false;  // reached the time budget
+    bool retired = false;   // removed from membership mid-run
     double est_completion = 0.0;
 
     // --- fault-tolerance state ------------------------------------------
@@ -182,10 +224,33 @@ class Coordinator final : public msg::Actor {
   bool all_finished() const HETSGD_REQUIRES(mu_);
   double effective_window() const;
 
+  // --- checkpoint + elastic helpers ---------------------------------------
+  // True when a full checkpoint should be cut at the next epoch barrier.
+  bool full_checkpoint_due() const HETSGD_REQUIRES(mu_);
+  // Sends StateRequest to every live worker and suppresses dispatch until
+  // all replies (or peer losses) arrive. Completes synchronously when
+  // there is no one to ask.
+  void begin_full_checkpoint() HETSGD_REQUIRES(mu_);
+  void on_state_report(const msg::StateReport& report) HETSGD_REQUIRES(mu_);
+  // Removes `id` from the outstanding StateRequest set (worker faulted or
+  // retired mid-collection) so the checkpoint cut cannot wedge on it.
+  void drop_ckpt_peer(msg::WorkerId id) HETSGD_REQUIRES(mu_);
+  // If a cut is pending and every reply is in, assembles + persists the
+  // checkpoint and performs the deferred epoch restart (shuffle + cursor).
+  void maybe_complete_checkpoint() HETSGD_REQUIRES(mu_);
+  void write_full_checkpoint() HETSGD_REQUIRES(mu_);
+  void on_worker_join(msg::WorkerId id) HETSGD_REQUIRES(mu_);
+  void on_worker_retire(msg::WorkerId id) HETSGD_REQUIRES(mu_);
+  // Batch whose estimated cost best matches the mean estimated cost of the
+  // active workers' current batches (quantum-aligned, limit-clamped).
+  tensor::Index seed_batch_from_cost_model(
+      const WorkerRuntime& w, const AdaptiveController::WorkerLimits& limits)
+      const HETSGD_REQUIRES(mu_);
+
   // --- self-healing helpers ---------------------------------------------
   bool fault_layer_enabled() const { return config_.fault.deadline_factor > 0.0; }
   bool schedulable(const WorkerRuntime& w) const {
-    return !w.failed && !w.quarantined && !w.finished;
+    return !w.failed && !w.quarantined && !w.finished && !w.retired;
   }
   // Returns the worker's in-flight range to the reclaim pool and advances
   // reclaimed_through so its eventual report is treated as late.
@@ -201,6 +266,10 @@ class Coordinator final : public msg::Actor {
   nn::Model& model_;
   const TrainingConfig& config_;  // immutable for the run
   const bool adaptive_enabled_;
+  // Captured at construction, before any epoch shuffle permutes the
+  // dataset: the fingerprint must hash the same (original) example order
+  // the resume path sees when it recomputes it on a fresh copy.
+  const std::uint64_t fingerprint_;
 
   // One lock per mailbox message; guards everything below that is mutable
   // after start(). ledger_ is internally synchronized; the perf models and
@@ -252,6 +321,23 @@ class Coordinator final : public msg::Actor {
   double last_good_loss_ HETSGD_GUARDED_BY(mu_) = 0.0;
   bool has_last_good_ HETSGD_GUARDED_BY(mu_) = false;
   double next_checkpoint_vtime_ HETSGD_GUARDED_BY(mu_) = 0.0;
+
+  // --- full-checkpoint state ----------------------------------------------
+  CheckpointManager* ckpt_mgr_ HETSGD_GUARDED_BY(mu_) = nullptr;
+  // A cut is in flight: StateRequests are out, dispatch is suppressed, and
+  // the epoch restart (shuffle + cursor reset) is deferred until every
+  // worker in ckpt_waiting_ replies or is dropped.
+  bool ckpt_pending_ HETSGD_GUARDED_BY(mu_) = false;
+  std::vector<msg::WorkerId> ckpt_waiting_ HETSGD_GUARDED_BY(mu_);
+  std::vector<std::pair<msg::WorkerId, std::vector<std::uint8_t>>> ckpt_blobs_
+      HETSGD_GUARDED_BY(mu_);
+  std::int64_t ckpt_ticks_ HETSGD_GUARDED_BY(mu_) = 0;
+  double next_full_ckpt_vtime_ HETSGD_GUARDED_BY(mu_) = 0.0;
+  bool resumed_ HETSGD_GUARDED_BY(mu_) = false;
+
+  // --- elastic-membership state -------------------------------------------
+  std::uint64_t joins_ HETSGD_GUARDED_BY(mu_) = 0;
+  std::uint64_t retires_ HETSGD_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hetsgd::core

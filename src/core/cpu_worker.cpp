@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <limits>
 #include <thread>
 
+#include "common/atomic_file.hpp"
 #include "common/logging.hpp"
 #include "common/macros.hpp"
 #include "core/cost_model.hpp"
@@ -34,6 +36,15 @@ CpuWorker::CpuWorker(msg::WorkerId id, const TrainingConfig& config,
 bool CpuWorker::handle(msg::Envelope envelope) {
   if (std::holds_alternative<msg::ExecuteWork>(envelope.message)) {
     return execute(std::get<msg::ExecuteWork>(envelope.message));
+  }
+  if (std::holds_alternative<msg::StateRequest>(envelope.message)) {
+    msg::StateReport report;
+    report.worker = id_;
+    report.state = serialize_state();
+    if (!coordinator_.send({id_, std::move(report)})) {
+      HETSGD_LOG_WARN("cpu-worker", "state report dropped: mailbox closed");
+    }
+    return true;
   }
   if (std::holds_alternative<msg::Shutdown>(envelope.message)) {
     if (!coordinator_.send({id_, msg::ShutdownAck{id_}})) {
@@ -72,6 +83,14 @@ bool CpuWorker::execute(const msg::ExecuteWork& work) {
   clock_.advance_to(work.not_before);
   FaultPlan::StallState stall;
   if (fault_plan_ != nullptr) {
+    if (fault_plan_->crash_due(id_, clock_.now())) {
+      // Simulated power loss: take the whole process down with no
+      // destructors, no flushes, no goodbye — the crash-consistency of the
+      // checkpoint files is exactly what this exercises.
+      HETSGD_LOG_WARN("cpu-worker", "injected crash (SIGKILL) at vtime %.6f",
+                      clock_.now());
+      std::raise(SIGKILL);
+    }
     if (fault_plan_->death_due(id_, clock_.now())) {
       HETSGD_LOG_WARN("cpu-worker", "injected death at vtime %.6f",
                       clock_.now());
@@ -153,6 +172,70 @@ bool CpuWorker::execute(const msg::ExecuteWork& work) {
       config_.cpu.host_threads, sub_batch,
       config_.cpu.max_examples_per_thread);
   request_work(static_cast<std::uint64_t>(size), intensity, work.sequence);
+  return true;
+}
+
+namespace {
+constexpr std::uint8_t kCpuStateTag = 'C';
+constexpr std::uint32_t kCpuStateVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> CpuWorker::serialize_state() const {
+  ByteWriter w;
+  w.write_u8(kCpuStateTag);
+  w.write_u32(kCpuStateVersion);
+  w.write_f64(clock_.now());
+  w.write_f64(busy_vtime_);
+  // The raw beta-weighted accumulator, bit-exact: floor() loses the
+  // fractional part that decides when the next report's count ticks over.
+  w.write_f64(updates_scaled_);
+  w.write_u32(static_cast<std::uint32_t>(optimizers_.size()));
+  for (const nn::Optimizer& opt : optimizers_) {
+    opt.serialize(w);
+  }
+  return w.data();
+}
+
+bool CpuWorker::restore_state(const std::vector<std::uint8_t>& bytes,
+                              std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  ByteReader r(bytes);
+  std::uint8_t tag = 0;
+  std::uint32_t version = 0;
+  double clock = 0.0;
+  std::uint32_t lanes = 0;
+  if (!r.read_u8(&tag) || tag != kCpuStateTag) {
+    return fail("not a CPU worker state blob");
+  }
+  if (!r.read_u32(&version) || version != kCpuStateVersion) {
+    return fail("unsupported CPU worker state version");
+  }
+  if (!r.read_f64(&clock) || !r.read_f64(&busy_vtime_) ||
+      !r.read_f64(&updates_scaled_) || !r.read_u32(&lanes)) {
+    return fail("truncated CPU worker state");
+  }
+  clock_.reset(clock);
+  if (static_cast<std::size_t>(lanes) != optimizers_.size()) {
+    // A different --threads count changes the lane set; optimizer slots
+    // cannot be mapped across it. Plain-SGD runs carry no slots, so this
+    // still restores exactly; momentum/Adam lanes restart cold.
+    HETSGD_LOG_WARN("cpu-worker",
+                    "checkpoint has %u optimizer lanes, this run has %zu; "
+                    "restoring common prefix",
+                    lanes, optimizers_.size());
+  }
+  for (std::uint32_t i = 0; i < lanes; ++i) {
+    if (static_cast<std::size_t>(i) < optimizers_.size()) {
+      if (!optimizers_[i].deserialize(r, error)) return false;
+    } else {
+      // Consume the extra lane's bytes to keep the stream aligned.
+      nn::Optimizer discard(config_.optimizer, model_);
+      if (!discard.deserialize(r, error)) return false;
+    }
+  }
   return true;
 }
 

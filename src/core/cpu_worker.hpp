@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "concurrent/thread_pool.hpp"
@@ -37,6 +38,14 @@ class CpuWorker final : public msg::Actor {
   // Attaches a fault-injection plan (shared, thread-safe). Call before
   // start(); nullptr = no injections.
   void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+  // Checkpointing: the worker's private state (virtual clock, update
+  // counter, per-lane optimizer slots) as an opaque blob, produced on the
+  // actor thread in response to StateRequest. restore_state() is the
+  // inverse; call it before start() only.
+  std::vector<std::uint8_t> serialize_state() const;
+  bool restore_state(const std::vector<std::uint8_t>& bytes,
+                     std::string* error);
 
  protected:
   bool handle(msg::Envelope envelope) override;

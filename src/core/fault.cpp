@@ -14,6 +14,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kDeath:              return "death";
     case FaultKind::kTransferFailure:    return "transfer-failure";
     case FaultKind::kGradientCorruption: return "gradient-corruption";
+    case FaultKind::kCrash:              return "crash";
     case FaultKind::kDeadlineMiss:       return "deadline-miss";
     case FaultKind::kSendFailure:        return "send-failure";
     case FaultKind::kWorkerFault:        return "worker-fault";
@@ -22,6 +23,8 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kRedispatch:         return "redispatch";
     case FaultKind::kDivergenceRollback: return "divergence-rollback";
     case FaultKind::kDivergenceAbort:    return "divergence-abort";
+    case FaultKind::kWorkerJoin:         return "worker-join";
+    case FaultKind::kWorkerRetire:       return "worker-retire";
   }
   return "?";
 }
@@ -33,6 +36,7 @@ bool parse_kind(const std::string& name, FaultKind& out) {
   if (name == "die")      { out = FaultKind::kDeath; return true; }
   if (name == "transfer") { out = FaultKind::kTransferFailure; return true; }
   if (name == "nan")      { out = FaultKind::kGradientCorruption; return true; }
+  if (name == "crash")    { out = FaultKind::kCrash; return true; }
   return false;
 }
 
@@ -84,7 +88,7 @@ bool FaultPlan::parse(const std::string& spec, std::uint64_t seed,
     FaultEvent ev;
     if (!parse_kind(item.substr(0, colon), ev.kind)) {
       return fail("unknown fault kind '" + item.substr(0, colon) +
-                  "' (stall|die|transfer|nan)");
+                  "' (stall|die|transfer|nan|crash)");
     }
     bool have_worker = false;
     for (const std::string& kv : split(item.substr(colon + 1), ',')) {
@@ -208,6 +212,10 @@ bool FaultPlan::corruption_due(msg::WorkerId w, double vtime) {
   return consume(FaultKind::kGradientCorruption, w, vtime, nullptr);
 }
 
+bool FaultPlan::crash_due(msg::WorkerId w, double vtime) {
+  return consume(FaultKind::kCrash, w, vtime, nullptr);
+}
+
 std::int64_t FaultPlan::transfer_failures_due(msg::WorkerId w, double vtime) {
   FaultEvent ev;
   if (!consume(FaultKind::kTransferFailure, w, vtime, &ev)) return 0;
@@ -239,6 +247,13 @@ void register_fault_flags(CliParser& cli, FaultToleranceConfig* fault) {
                  "auto-checkpoint cadence in virtual seconds (0 = off)");
   cli.add_string("checkpoint-path", &fault->checkpoint_path,
                  "auto-checkpoint file (requires --checkpoint-interval)");
+  cli.add_string("checkpoint-dir", &fault->checkpoint_dir,
+                 "directory for full crash-consistent checkpoints "
+                 "(model+optimizer+RNG+ledger; empty = off)");
+  cli.add_int("checkpoint-retain", &fault->checkpoint_retain,
+              "checkpoint files kept in --checkpoint-dir (oldest pruned)");
+  cli.add_string("resume", &fault->resume_dir,
+                 "resume from the newest valid checkpoint in this directory");
 }
 
 }  // namespace hetsgd::core

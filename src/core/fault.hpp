@@ -33,6 +33,7 @@ enum class FaultKind {
   kDeath,               // injected: worker actor stops reporting
   kTransferFailure,     // injected: device transfer throws
   kGradientCorruption,  // injected: non-finite gradient values
+  kCrash,               // injected: SIGKILL of the whole process (power loss)
   kDeadlineMiss,        // detected: dispatch exceeded its deadline
   kSendFailure,         // detected: Actor::send returned false (closed box)
   kWorkerFault,         // detected: worker escalated a fault report
@@ -41,6 +42,8 @@ enum class FaultKind {
   kRedispatch,          // handled: reclaimed range assigned to a survivor
   kDivergenceRollback,  // handled: non-finite loss, model restored
   kDivergenceAbort,     // handled: non-finite loss, run aborted per config
+  kWorkerJoin,          // handled: worker joined the run (elastic membership)
+  kWorkerRetire,        // handled: worker retired from the run
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -117,6 +120,10 @@ class FaultPlan {
   // True exactly once, on the first query at/after the event's trigger.
   bool death_due(msg::WorkerId w, double vtime) HETSGD_EXCLUDES(mutex_);
   bool corruption_due(msg::WorkerId w, double vtime) HETSGD_EXCLUDES(mutex_);
+  // True when a whole-process crash (SIGKILL, simulating power loss) is
+  // scheduled at/after `vtime` for worker `w`'s execute path. The caller
+  // raises the signal; by nature the "fired" record never survives.
+  bool crash_due(msg::WorkerId w, double vtime) HETSGD_EXCLUDES(mutex_);
 
   // Number of consecutive transfer failures to inject (0 = none); the
   // matching event is consumed.
@@ -177,6 +184,20 @@ struct FaultToleranceConfig {
   // snapshot) every interval virtual seconds; 0 or empty path = off.
   double checkpoint_interval_vseconds = 0.0;
   std::string checkpoint_path;
+
+  // Full crash-consistent checkpoints (model + optimizer + RNG + ledger +
+  // adaptive controller) managed by core::CheckpointManager. Empty dir =
+  // off. Cadence reuses checkpoint_interval_vseconds; when the interval is
+  // 0 a full checkpoint is cut at every epoch flip. `checkpoint_retain`
+  // bounds how many checkpoint files are kept (oldest pruned first).
+  std::string checkpoint_dir;
+  std::int64_t checkpoint_retain = 3;
+
+  // Resume the run from the newest valid checkpoint in this directory
+  // (typically the same as checkpoint_dir). Empty = start fresh; a
+  // directory with no usable checkpoint also starts fresh, so a crash
+  // before the first cut still restarts cleanly.
+  std::string resume_dir;
 };
 
 // Registers the --fault-* / --checkpoint-* flags onto a CLI parser,

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <limits>
 #include <thread>
 
+#include "common/atomic_file.hpp"
 #include "common/logging.hpp"
 #include "common/macros.hpp"
 #include "core/cost_model.hpp"
@@ -30,6 +32,15 @@ GpuWorker::GpuWorker(msg::WorkerId id, const TrainingConfig& config,
 bool GpuWorker::handle(msg::Envelope envelope) {
   if (std::holds_alternative<msg::ExecuteWork>(envelope.message)) {
     return execute(std::get<msg::ExecuteWork>(envelope.message));
+  }
+  if (std::holds_alternative<msg::StateRequest>(envelope.message)) {
+    msg::StateReport report;
+    report.worker = id_;
+    report.state = serialize_state();
+    if (!coordinator_.send({id_, std::move(report)})) {
+      HETSGD_LOG_WARN("gpu-worker", "state report dropped: mailbox closed");
+    }
+    return true;
   }
   if (std::holds_alternative<msg::Shutdown>(envelope.message)) {
     if (!coordinator_.send({id_, msg::ShutdownAck{id_}})) {
@@ -67,6 +78,14 @@ bool GpuWorker::execute(const msg::ExecuteWork& work) {
   clock_.advance_to(work.not_before);
   FaultPlan::StallState stall;
   if (fault_plan_ != nullptr) {
+    if (fault_plan_->crash_due(id_, clock_.now())) {
+      // Simulated power loss: take the whole process down with no
+      // destructors, no flushes, no goodbye — the crash-consistency of the
+      // checkpoint files is exactly what this exercises.
+      HETSGD_LOG_WARN("gpu-worker", "injected crash (SIGKILL) at vtime %.6f",
+                      clock_.now());
+      std::raise(SIGKILL);
+    }
     if (fault_plan_->death_due(id_, clock_.now())) {
       HETSGD_LOG_WARN("gpu-worker", "injected death at vtime %.6f",
                       clock_.now());
@@ -178,6 +197,46 @@ bool GpuWorker::execute(const msg::ExecuteWork& work) {
     HETSGD_LOG_WARN("gpu-worker", "work report dropped: mailbox closed");
   }
   return true;
+}
+
+namespace {
+constexpr std::uint8_t kGpuStateTag = 'G';
+constexpr std::uint32_t kGpuStateVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> GpuWorker::serialize_state() const {
+  ByteWriter w;
+  w.write_u8(kGpuStateTag);
+  w.write_u32(kGpuStateVersion);
+  w.write_f64(clock_.now());
+  w.write_f64(busy_vtime_);
+  w.write_u64(updates_);
+  optimizer_.serialize(w);
+  return w.data();
+}
+
+bool GpuWorker::restore_state(const std::vector<std::uint8_t>& bytes,
+                              std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  ByteReader r(bytes);
+  std::uint8_t tag = 0;
+  std::uint32_t version = 0;
+  double clock = 0.0;
+  if (!r.read_u8(&tag) || tag != kGpuStateTag) {
+    return fail("not a GPU worker state blob");
+  }
+  if (!r.read_u32(&version) || version != kGpuStateVersion) {
+    return fail("unsupported GPU worker state version");
+  }
+  if (!r.read_f64(&clock) || !r.read_f64(&busy_vtime_) ||
+      !r.read_u64(&updates_)) {
+    return fail("truncated GPU worker state");
+  }
+  clock_.reset(clock);
+  return optimizer_.deserialize(r, error);
 }
 
 }  // namespace hetsgd::core

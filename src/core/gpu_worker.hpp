@@ -15,6 +15,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/fault.hpp"
@@ -43,6 +45,14 @@ class GpuWorker final : public msg::Actor {
 
   // Transfer retries performed so far (diagnostics / tests).
   std::uint64_t transfer_retries() const { return transfer_retries_; }
+
+  // Checkpointing: the worker's private state (virtual clock, update
+  // counter, optimizer slots) as an opaque blob, produced on the actor
+  // thread in response to StateRequest. restore_state() is the inverse;
+  // call it before start() only.
+  std::vector<std::uint8_t> serialize_state() const;
+  bool restore_state(const std::vector<std::uint8_t>& bytes,
+                     std::string* error);
 
  protected:
   bool handle(msg::Envelope envelope) override;

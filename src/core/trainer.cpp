@@ -1,7 +1,10 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <limits>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -10,8 +13,10 @@
 #include "common/macros.hpp"
 #include "common/timer.hpp"
 #include "core/cpu_worker.hpp"
+#include "core/elastic.hpp"
 #include "core/gpu_worker.hpp"
 #include "core/minibatch_reference.hpp"
+#include "nn/serialize.hpp"
 
 namespace hetsgd::core {
 
@@ -111,13 +116,44 @@ TrainingResult Trainer::run_framework() {
     }
   }
 
+  // Resume: load the newest valid checkpoint before any actor starts. A
+  // missing/unusable directory degrades to a fresh start (the crash may
+  // have hit before the first cut); a fingerprint mismatch is refused —
+  // continuing a *different* run's checkpoint would silently fork the
+  // trajectory.
+  std::optional<TrainingCheckpoint> resume_ckpt;
+  if (!config_.fault.resume_dir.empty()) {
+    std::string error;
+    resume_ckpt =
+        CheckpointManager::load_latest(config_.fault.resume_dir, &error);
+    if (!resume_ckpt) {
+      HETSGD_LOG_WARN("trainer",
+                      "no usable checkpoint in %s (%s); starting fresh",
+                      config_.fault.resume_dir.c_str(), error.c_str());
+    } else {
+      const std::uint64_t fp = config_fingerprint(config_, working);
+      if (resume_ckpt->fingerprint != fp) {
+        HETSGD_LOG_ERROR("trainer",
+                         "checkpoint in %s was cut under a different "
+                         "config/seed/dataset; refusing to resume",
+                         config_.fault.resume_dir.c_str());
+        HETSGD_ASSERT(false, "checkpoint/config fingerprint mismatch");
+      }
+      model = resume_ckpt->model;
+      HETSGD_LOG_INFO(
+          "trainer", "resuming from checkpoint seq %llu (epoch %llu)",
+          static_cast<unsigned long long>(resume_ckpt->sequence),
+          static_cast<unsigned long long>(resume_ckpt->epoch));
+    }
+  }
+
   Coordinator coordinator(working, model, config_, options_.eval_sample);
 
   std::unique_ptr<CpuWorker> cpu_worker;
   std::vector<std::unique_ptr<GpuWorker>> gpu_workers;
   msg::WorkerId next_id = 0;
 
-  if (algorithm_uses_cpu(config_.algorithm)) {
+  const auto cpu_limits = [this] {
     const Index lanes = config_.cpu.sim_lanes;
     AdaptiveController::WorkerLimits limits;
     limits.quantum = lanes;
@@ -126,14 +162,9 @@ TrainingResult Trainer::run_framework() {
     // "The CPU worker starts with a batch size of 1 example per thread —
     // it performs Hogwild" (§VII-A).
     limits.initial = lanes * config_.cpu.examples_per_thread;
-    cpu_worker = std::make_unique<CpuWorker>(next_id, config_, working, model,
-                                             coordinator,
-                                             config_.real_threads);
-    if (!fault_plan.empty()) cpu_worker->set_fault_plan(&fault_plan);
-    coordinator.add_worker(*cpu_worker, gpusim::DeviceKind::kCpu, limits);
-    ++next_id;
-  }
-  if (algorithm_uses_gpu(config_.algorithm)) {
+    return limits;
+  };
+  const auto gpu_limits = [this] {
     AdaptiveController::WorkerLimits limits;
     limits.quantum = 1;
     limits.min = config_.gpu.min_batch;
@@ -144,6 +175,19 @@ TrainingResult Trainer::run_framework() {
                          ? config_.gpu.max_batch
                          : std::clamp(config_.gpu.batch, config_.gpu.min_batch,
                                       config_.gpu.max_batch);
+    return limits;
+  };
+
+  if (algorithm_uses_cpu(config_.algorithm)) {
+    cpu_worker = std::make_unique<CpuWorker>(next_id, config_, working, model,
+                                             coordinator,
+                                             config_.real_threads);
+    if (!fault_plan.empty()) cpu_worker->set_fault_plan(&fault_plan);
+    coordinator.add_worker(*cpu_worker, gpusim::DeviceKind::kCpu,
+                           cpu_limits());
+    ++next_id;
+  }
+  if (algorithm_uses_gpu(config_.algorithm)) {
     const int gpus = std::max(config_.gpu.worker_count, 1);
     for (int g = 0; g < gpus; ++g) {
       gpu_workers.push_back(std::make_unique<GpuWorker>(
@@ -152,18 +196,126 @@ TrainingResult Trainer::run_framework() {
         gpu_workers.back()->set_fault_plan(&fault_plan);
       }
       coordinator.add_worker(*gpu_workers.back(), gpusim::DeviceKind::kGpu,
-                             limits);
+                             gpu_limits());
       ++next_id;
     }
   }
   HETSGD_ASSERT(next_id > 0, "algorithm selected no workers");
 
+  // Checkpoint sink + restore, after every worker is registered and before
+  // any actor starts.
+  std::unique_ptr<CheckpointManager> ckpt_mgr;
+  if (!config_.fault.checkpoint_dir.empty()) {
+    ckpt_mgr = std::make_unique<CheckpointManager>(
+        config_.fault.checkpoint_dir, config_.fault.checkpoint_retain);
+    coordinator.set_checkpoint_manager(ckpt_mgr.get());
+  }
+  if (resume_ckpt) {
+    std::string error;
+    if (!coordinator.restore(*resume_ckpt, &error)) {
+      HETSGD_LOG_ERROR("trainer", "checkpoint restore refused: %s",
+                       error.c_str());
+      HETSGD_ASSERT(false, "checkpoint restore refused");
+    }
+    for (const WorkerCheckpoint& wc : resume_ckpt->workers) {
+      // An empty blob means the worker died before the cut collected its
+      // state; its optimizer slots restart cold (ledger counters were
+      // still restored above).
+      if (wc.state.empty()) continue;
+      bool ok = false;
+      if (cpu_worker && wc.id == cpu_worker->id()) {
+        ok = cpu_worker->restore_state(wc.state, &error);
+      } else {
+        for (auto& g : gpu_workers) {
+          if (g->id() == wc.id) {
+            ok = g->restore_state(wc.state, &error);
+            break;
+          }
+        }
+      }
+      if (!ok) {
+        HETSGD_LOG_ERROR("trainer", "worker %d state restore failed: %s",
+                         wc.id, error.c_str());
+        HETSGD_ASSERT(false, "worker checkpoint state restore failed");
+      }
+    }
+  }
+
+  // Elastic membership plan, driven by a controller thread below.
+  ElasticPlan elastic;
+  if (!config_.elastic_plan.empty()) {
+    std::string error;
+    const bool ok = ElasticPlan::parse(config_.elastic_plan, &elastic, &error);
+    HETSGD_ASSERT(ok, "invalid --elastic-plan spec");
+    elastic.resolve_times(config_.time_budget_vseconds);
+  }
+
   if (cpu_worker) cpu_worker->start();
   for (auto& g : gpu_workers) g->start();
   coordinator.start();
+
+  // Elastic controller: watches the virtual frontier and fires the planned
+  // join/retire events. Joined workers are owned here; the coordinator
+  // winds them down (retire or final shutdown) and we join their threads
+  // after the run.
+  std::vector<std::unique_ptr<CpuWorker>> joined_cpu;
+  std::vector<std::unique_ptr<GpuWorker>> joined_gpu;
+  std::atomic<bool> elastic_stop{false};
+  std::thread elastic_thread;
+  if (!elastic.empty()) {
+    elastic_thread = std::thread([&] {
+      std::size_t next = 0;
+      while (next < elastic.events.size() &&
+             !elastic_stop.load(std::memory_order_relaxed)) {
+        const ElasticEvent& ev = elastic.events[next];
+        if (coordinator.final_vtime() < ev.at_vtime) {
+          // hetsgd-lint: allow(wall-clock) the controller models an
+          // operator outside the virtual-time system; it polls in real time.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        if (ev.kind == ElasticEvent::Kind::kRetire) {
+          if (!coordinator.retire_worker(ev.worker)) {
+            HETSGD_LOG_WARN("trainer", "elastic retire of worker %d refused",
+                            ev.worker);
+          }
+        } else if (ev.device == gpusim::DeviceKind::kCpu) {
+          const auto id =
+              static_cast<msg::WorkerId>(coordinator.worker_count());
+          auto w = std::make_unique<CpuWorker>(id, config_, working, model,
+                                               coordinator,
+                                               config_.real_threads);
+          if (!fault_plan.empty()) w->set_fault_plan(&fault_plan);
+          if (coordinator.join_worker(*w, gpusim::DeviceKind::kCpu,
+                                      cpu_limits()) >= 0) {
+            w->start();
+            joined_cpu.push_back(std::move(w));
+          }
+        } else {
+          const auto id =
+              static_cast<msg::WorkerId>(coordinator.worker_count());
+          auto w = std::make_unique<GpuWorker>(id, config_, working, model,
+                                               coordinator,
+                                               static_cast<int>(id));
+          if (!fault_plan.empty()) w->set_fault_plan(&fault_plan);
+          if (coordinator.join_worker(*w, gpusim::DeviceKind::kGpu,
+                                      gpu_limits()) >= 0) {
+            w->start();
+            joined_gpu.push_back(std::move(w));
+          }
+        }
+        ++next;
+      }
+    });
+  }
+
   coordinator.join();
+  elastic_stop.store(true, std::memory_order_relaxed);
+  if (elastic_thread.joinable()) elastic_thread.join();
   if (cpu_worker) cpu_worker->join();
   for (auto& g : gpu_workers) g->join();
+  for (auto& w : joined_cpu) w->join();
+  for (auto& g : joined_gpu) g->join();
 
   TrainingResult result;
   result.algorithm = config_.algorithm;
@@ -210,6 +362,16 @@ TrainingResult Trainer::run_framework() {
   result.checkpoints_written = coordinator.checkpoints_written();
   result.final_lr_scale = coordinator.lr_scale();
   result.diverged = coordinator.diverged();
+  result.resumed = resume_ckpt.has_value();
+  result.resume_epoch = resume_ckpt ? resume_ckpt->epoch : 0;
+  result.workers_joined = coordinator.workers_joined();
+  result.workers_retired = coordinator.workers_retired();
+  {
+    // All actors are joined: the model is quiescent and safe to serialize.
+    ByteWriter w;
+    nn::write_model(w, model);
+    result.final_model_bytes = w.data();
+  }
 
   fill_curve_stats(result);
   result.wall_seconds = timer.elapsed_seconds();

@@ -61,6 +61,15 @@ struct TrainingResult {
   double final_lr_scale = 1.0;  // product of divergence lr backoffs
   bool diverged = false;        // run aborted on non-finite loss
 
+  // --- checkpoint/resume + elastic membership ----------------------------
+  bool resumed = false;            // run continued from a checkpoint
+  std::uint64_t resume_epoch = 0;  // epoch the checkpoint was cut at
+  std::uint64_t workers_joined = 0;
+  std::uint64_t workers_retired = 0;
+  // Serialized final model (nn::write_model payload) for bitwise
+  // trajectory comparisons in determinism tests.
+  std::vector<std::uint8_t> final_model_bytes;
+
   // Loss at the given virtual time (step-wise interpolation of the curve).
   double loss_at(double vtime) const;
   // First virtual time at which the loss reached `target` (inf if never).

@@ -98,6 +98,19 @@ void UpdateLedger::on_late_report(const msg::ScheduleWork& report) {
   // examples/batches deliberately untouched: the range was reclaimed.
 }
 
+void UpdateLedger::restore_stats(const WorkerStats& stats) {
+  MutexLock lock(mu_);
+  WorkerStats& s = stats_locked(stats.id);
+  s.updates = stats.updates;
+  s.batches = stats.batches;
+  s.examples = stats.examples;
+  s.busy_vtime = stats.busy_vtime;
+  s.clock = stats.clock;
+  s.current_batch = stats.current_batch;
+  s.staleness_sum = stats.staleness_sum;
+  s.max_staleness = stats.max_staleness;
+}
+
 void UpdateLedger::record_fault(FaultRecord record) {
   MutexLock lock(mu_);
   faults_.push_back(std::move(record));

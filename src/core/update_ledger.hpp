@@ -25,6 +25,16 @@
 
 namespace hetsgd::core {
 
+// One sample of the loss trajectory: virtual seconds, epochs-equivalent
+// of processed examples, and the (sampled) training loss. Lives here —
+// with the rest of the run bookkeeping — so the checkpoint layer can
+// persist loss curves without pulling in the coordinator.
+struct LossPoint {
+  double vtime = 0.0;
+  double epochs = 0.0;
+  double loss = 0.0;
+};
+
 struct WorkerStats {
   msg::WorkerId id = 0;
   std::string name;
@@ -79,6 +89,12 @@ class UpdateLedger {
   // reclaimed range was re-dispatched elsewhere and counting it twice
   // would break `dispatched == reported + reclaimed`.
   void on_late_report(const msg::ScheduleWork& report) HETSGD_EXCLUDES(mu_);
+
+  // Checkpoint restore: overwrites the counters of an already-registered
+  // worker (matched by stats.id) with the persisted values. Name and kind
+  // keep the freshly-registered values — they describe this process's
+  // workers, not the dead one's.
+  void restore_stats(const WorkerStats& stats) HETSGD_EXCLUDES(mu_);
 
   // --- fault / recovery event log ---------------------------------------
   // Coordinator-side detections and recovery actions, in detection order;

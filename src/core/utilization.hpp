@@ -25,6 +25,10 @@ class UtilizationMonitor {
  public:
   explicit UtilizationMonitor(std::size_t workers);
 
+  // Grows the monitor by one worker (elastic join). New workers get the
+  // next dense id; their pre-join history is empty idle time.
+  void add_worker();
+
   void record(msg::WorkerId worker, double t0, double t1, double intensity);
 
   const std::vector<BusySegment>& segments(msg::WorkerId worker) const;

@@ -1,6 +1,7 @@
 #include "data/libsvm_io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,16 +23,30 @@ struct SparseExample {
   std::vector<std::pair<Index, Scalar>> entries;
 };
 
-// Parses one "label idx:val idx:val ..." line. Returns false for blank or
-// comment lines.
-bool parse_line(const std::string& line, std::size_t line_no,
-                SparseExample& out) {
+enum class ParseStatus { kOk, kSkip, kError };
+
+std::string at_line(std::size_t line_no, const std::string& what) {
+  return "line " + std::to_string(line_no) + ": " + what;
+}
+
+// Parses one "label idx:val idx:val ..." line. kSkip for blank or comment
+// lines; kError (with a "line N: ..." message in *error) for malformed
+// input. Never aborts — a bad dataset file is an input problem, not a bug.
+ParseStatus parse_line(const std::string& line, std::size_t line_no,
+                       SparseExample& out, std::string* error) {
   std::size_t pos = line.find_first_not_of(" \t\r");
-  if (pos == std::string::npos || line[pos] == '#') return false;
+  if (pos == std::string::npos || line[pos] == '#') return ParseStatus::kSkip;
   const char* s = line.c_str() + pos;
   char* end = nullptr;
   out.label = std::strtod(s, &end);
-  HETSGD_ASSERT(end != s, "libsvm: missing label");
+  if (end == s) {
+    *error = at_line(line_no, "missing or non-numeric label");
+    return ParseStatus::kError;
+  }
+  if (!std::isfinite(out.label)) {
+    *error = at_line(line_no, "non-finite label");
+    return ParseStatus::kError;
+  }
   out.entries.clear();
   s = end;
   for (;;) {
@@ -39,35 +54,53 @@ bool parse_line(const std::string& line, std::size_t line_no,
     if (*s == '\0' || *s == '\n' || *s == '#') break;
     long idx = std::strtol(s, &end, 10);
     if (end == s || *end != ':') {
-      std::fprintf(stderr, "libsvm: malformed pair at line %zu\n", line_no);
-      std::abort();
+      *error = at_line(line_no, "malformed pair (expected index:value)");
+      return ParseStatus::kError;
     }
-    HETSGD_ASSERT(idx >= 1, "libsvm: feature indices are 1-based");
+    if (idx < 1) {
+      *error = at_line(line_no, "feature index " + std::to_string(idx) +
+                                    " (indices are 1-based)");
+      return ParseStatus::kError;
+    }
     s = end + 1;
     double val = std::strtod(s, &end);
     if (end == s) {
-      std::fprintf(stderr, "libsvm: missing value at line %zu\n", line_no);
-      std::abort();
+      *error = at_line(line_no,
+                       "missing value after index " + std::to_string(idx));
+      return ParseStatus::kError;
+    }
+    if (!std::isfinite(val)) {
+      *error = at_line(line_no, "non-finite value at index " +
+                                    std::to_string(idx));
+      return ParseStatus::kError;
     }
     s = end;
     out.entries.emplace_back(static_cast<Index>(idx - 1),
                              static_cast<Scalar>(val));
   }
-  return true;
+  return ParseStatus::kOk;
 }
 
-Dataset build_dataset(std::istream& in, const LibsvmReadOptions& options,
-                      const std::string& default_name) {
+std::optional<Dataset> build_dataset(std::istream& in,
+                                     const LibsvmReadOptions& options,
+                                     const std::string& default_name,
+                                     std::string* error) {
   std::vector<SparseExample> examples;
   std::string line;
   std::size_t line_no = 0;
+  std::size_t max_index_line = 0;
   Index max_index = -1;
   while (std::getline(in, line)) {
     ++line_no;
     SparseExample ex;
-    if (!parse_line(line, line_no, ex)) continue;
+    const ParseStatus status = parse_line(line, line_no, ex, error);
+    if (status == ParseStatus::kError) return std::nullopt;
+    if (status == ParseStatus::kSkip) continue;
     for (const auto& [idx, val] : ex.entries) {
-      max_index = std::max(max_index, idx);
+      if (idx > max_index) {
+        max_index = idx;
+        max_index_line = line_no;
+      }
     }
     examples.push_back(std::move(ex));
     if (options.max_examples > 0 &&
@@ -75,11 +108,22 @@ Dataset build_dataset(std::istream& in, const LibsvmReadOptions& options,
       break;
     }
   }
-  HETSGD_ASSERT(!examples.empty(), "libsvm: no examples found");
+  if (examples.empty()) {
+    *error = "no examples found";
+    return std::nullopt;
+  }
 
   Index dim = options.dim > 0 ? options.dim : max_index + 1;
-  HETSGD_ASSERT(dim > 0, "libsvm: could not infer dimension");
-  HETSGD_ASSERT(max_index < dim, "libsvm: feature index exceeds --dim");
+  if (dim <= 0) {
+    *error = "could not infer dimension (no features seen)";
+    return std::nullopt;
+  }
+  if (max_index >= dim) {
+    *error = at_line(max_index_line,
+                     "feature index " + std::to_string(max_index + 1) +
+                         " exceeds dimension " + std::to_string(dim));
+    return std::nullopt;
+  }
 
   // Remap raw labels to contiguous ids. Sorted (std::map) so the mapping is
   // deterministic regardless of example order: -1 -> 0, +1 -> 1, etc.
@@ -112,16 +156,43 @@ Dataset build_dataset(std::istream& in, const LibsvmReadOptions& options,
 
 }  // namespace
 
-Dataset read_libsvm(const std::string& path, const LibsvmReadOptions& options) {
+std::optional<Dataset> try_read_libsvm(const std::string& path,
+                                       const LibsvmReadOptions& options,
+                                       std::string* error) {
+  std::string local;
+  std::string* err = error != nullptr ? error : &local;
   std::ifstream in(path);
-  HETSGD_ASSERT(in.good(), "libsvm: cannot open input file");
-  return build_dataset(in, options, path);
+  if (!in.good()) {
+    *err = "cannot open input file: " + path;
+    return std::nullopt;
+  }
+  auto dataset = build_dataset(in, options, path, err);
+  if (!dataset.has_value()) *err = path + ": " + *err;
+  return dataset;
+}
+
+std::optional<Dataset> try_read_libsvm_string(const std::string& content,
+                                              const LibsvmReadOptions& options,
+                                              std::string* error) {
+  std::string local;
+  std::istringstream in(content);
+  return build_dataset(in, options, "inline",
+                       error != nullptr ? error : &local);
+}
+
+Dataset read_libsvm(const std::string& path, const LibsvmReadOptions& options) {
+  std::string error;
+  auto dataset = try_read_libsvm(path, options, &error);
+  HETSGD_ASSERT(dataset.has_value(), ("libsvm: " + error).c_str());
+  return std::move(*dataset);
 }
 
 Dataset read_libsvm_string(const std::string& content,
                            const LibsvmReadOptions& options) {
-  std::istringstream in(content);
-  return build_dataset(in, options, "inline");
+  std::string error;
+  auto dataset = try_read_libsvm_string(content, options, &error);
+  HETSGD_ASSERT(dataset.has_value(), ("libsvm: " + error).c_str());
+  return std::move(*dataset);
 }
 
 void write_libsvm(const Dataset& dataset, const std::string& path) {

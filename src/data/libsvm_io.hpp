@@ -7,6 +7,7 @@
 // in when they are not.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "data/dataset.hpp"
@@ -24,11 +25,22 @@ struct LibsvmReadOptions {
   std::string dataset_name;  // defaults to the file path
 };
 
-// Parses a LIBSVM file into a dense Dataset. Aborts with a clear message on
-// malformed input (truncated pair, non-numeric index, index < 1).
-Dataset read_libsvm(const std::string& path, const LibsvmReadOptions& options);
+// Parses a LIBSVM file into a dense Dataset. On malformed input (truncated
+// pair, non-numeric index, index < 1, non-finite value, index beyond --dim)
+// returns nullopt and sets *error to a "path: line N: ..." diagnostic.
+std::optional<Dataset> try_read_libsvm(const std::string& path,
+                                       const LibsvmReadOptions& options,
+                                       std::string* error);
 
-// Parses LIBSVM content from a string (unit tests).
+// Parses LIBSVM content from a string (unit tests). Same error contract as
+// try_read_libsvm, with "line N: ..." diagnostics.
+std::optional<Dataset> try_read_libsvm_string(const std::string& content,
+                                              const LibsvmReadOptions& options,
+                                              std::string* error);
+
+// Aborting wrappers over the try_* readers for tools that have no recovery
+// path: the parse diagnostic becomes the abort message.
+Dataset read_libsvm(const std::string& path, const LibsvmReadOptions& options);
 Dataset read_libsvm_string(const std::string& content,
                            const LibsvmReadOptions& options);
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 namespace hetsgd::msg {
 
@@ -79,8 +80,35 @@ struct ShutdownAck {
   WorkerId worker = 0;
 };
 
+// Elastic membership (coordinator self-notifications). join_worker /
+// retire_worker register the change under the coordinator's lock from the
+// calling thread, then post these so the follow-up scheduling work
+// (dispatching to the newcomer, reclaiming the retiree's in-flight batch)
+// runs on the coordinator's own message loop like every other transition.
+struct WorkerJoin {
+  WorkerId worker = 0;
+};
+
+struct WorkerRetire {
+  WorkerId worker = 0;
+};
+
+// Coordinator -> worker: "serialize your private training state." Sent at
+// a checkpoint cut, when every worker is idle at the epoch barrier, so the
+// reply captures a quiescent snapshot without perturbing the trajectory.
+struct StateRequest {};
+
+// Worker -> coordinator: the serialized private state (virtual clock,
+// update counters, per-lane optimizer state). Opaque bytes: only the
+// worker type that produced a blob can restore it.
+struct StateReport {
+  WorkerId worker = 0;
+  std::vector<std::uint8_t> state;
+};
+
 using Message =
-    std::variant<ScheduleWork, ExecuteWork, Shutdown, ShutdownAck, WorkerFault>;
+    std::variant<ScheduleWork, ExecuteWork, Shutdown, ShutdownAck, WorkerFault,
+                 WorkerJoin, WorkerRetire, StateRequest, StateReport>;
 
 // A message plus its sender.
 struct Envelope {

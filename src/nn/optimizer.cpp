@@ -4,6 +4,7 @@
 
 #include "common/macros.hpp"
 #include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
 #include "tensor/ops.hpp"
 
 namespace hetsgd::nn {
@@ -129,6 +130,36 @@ void Optimizer::reset() {
   state_ready_ = false;
   velocity_ = Model();
   second_ = Model();
+}
+
+void Optimizer::serialize(ByteWriter& w) const {
+  w.write_u64(steps_);
+  w.write_u8(state_ready_ ? 1 : 0);
+  if (!state_ready_) return;
+  if (config_.kind != OptimizerKind::kSgd) write_params(w, velocity_);
+  if (config_.kind == OptimizerKind::kAdam) write_params(w, second_);
+}
+
+bool Optimizer::deserialize(ByteReader& r, std::string* error) {
+  std::uint64_t steps = 0;
+  std::uint8_t has_state = 0;
+  if (!r.read_u64(&steps) || !r.read_u8(&has_state)) {
+    if (error) *error = "optimizer state truncated";
+    return false;
+  }
+  reset();
+  steps_ = steps;
+  if (has_state == 0) return true;
+  ensure_state(*shape_);
+  if (config_.kind != OptimizerKind::kSgd &&
+      !read_params(r, velocity_, error)) {
+    return false;
+  }
+  if (config_.kind == OptimizerKind::kAdam &&
+      !read_params(r, second_, error)) {
+    return false;
+  }
+  return true;
 }
 
 const char* lr_schedule_name(LrSchedule s) {

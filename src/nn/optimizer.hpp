@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/atomic_file.hpp"
 #include "nn/model.hpp"
 
 namespace hetsgd::nn {
@@ -52,6 +53,13 @@ class Optimizer {
   std::uint64_t step_count() const { return steps_; }
 
   void reset();
+
+  // Checkpointing: appends step count + state buffers to `w`, or restores
+  // them. deserialize expects the same optimizer kind and model shape the
+  // state was saved under (enforced upstream by the config fingerprint);
+  // false + *error on truncation or shape mismatch.
+  void serialize(ByteWriter& w) const;
+  bool deserialize(ByteReader& r, std::string* error);
 
  private:
   void ensure_state(const Model& shape);

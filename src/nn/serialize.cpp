@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 
 #include "common/macros.hpp"
 
@@ -12,40 +11,25 @@ namespace {
 
 constexpr char kMagic[4] = {'H', 'S', 'G', 'D'};
 
+// Envelope bytes before the payload: magic + version + size + CRC.
+constexpr std::size_t kEnvelopeBytes = 4 + 4 + 8 + 4;
+
 // Upper bound on any single checkpoint dimension. Garbage headers must not
 // turn into multi-terabyte allocations before the shape check can reject
 // them.
 constexpr std::int64_t kMaxDim = 1 << 24;
 
-void write_u32(std::ofstream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void write_matrix(ByteWriter& w, const tensor::Matrix& m) {
+  w.write_i64(m.rows());
+  w.write_i64(m.cols());
+  w.write_bytes(m.data(), static_cast<std::size_t>(m.size()) *
+                              sizeof(tensor::Scalar));
 }
 
-void write_i64(std::ofstream& out, std::int64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-bool read_u32(std::ifstream& in, std::uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
-
-bool read_i64(std::ifstream& in, std::int64_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
-
-void write_matrix(std::ofstream& out, const tensor::Matrix& m) {
-  write_i64(out, m.rows());
-  write_i64(out, m.cols());
-  out.write(reinterpret_cast<const char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(tensor::Scalar)));
-}
-
-bool read_matrix(std::ifstream& in, tensor::Matrix& m, std::string* error) {
+bool read_matrix(ByteReader& r, tensor::Matrix& m, std::string* error) {
   std::int64_t rows = 0;
   std::int64_t cols = 0;
-  if (!read_i64(in, &rows) || !read_i64(in, &cols)) {
+  if (!r.read_i64(&rows) || !r.read_i64(&cols)) {
     if (error) *error = "checkpoint truncated (layer header)";
     return false;
   }
@@ -53,9 +37,8 @@ bool read_matrix(std::ifstream& in, tensor::Matrix& m, std::string* error) {
     if (error) *error = "checkpoint layer shape mismatch";
     return false;
   }
-  in.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(tensor::Scalar)));
-  if (!in.good()) {
+  if (!r.read_bytes(m.data(), static_cast<std::size_t>(m.size()) *
+                                  sizeof(tensor::Scalar))) {
     if (error) *error = "checkpoint truncated (layer data)";
     return false;
   }
@@ -64,54 +47,75 @@ bool read_matrix(std::ifstream& in, tensor::Matrix& m, std::string* error) {
 
 }  // namespace
 
-void save_model(const Model& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  HETSGD_ASSERT(out.good(), "cannot open checkpoint for writing");
-  out.write(kMagic, sizeof(kMagic));
-  write_u32(out, kCheckpointVersion);
-
-  const MlpConfig& c = model.config();
-  write_i64(out, c.input_dim);
-  write_i64(out, c.num_classes);
-  write_u32(out, static_cast<std::uint32_t>(c.hidden_layers));
-  write_i64(out, c.hidden_units);
-  write_u32(out, static_cast<std::uint32_t>(c.hidden_activation));
-  write_u32(out, static_cast<std::uint32_t>(c.init));
-
-  write_u32(out, static_cast<std::uint32_t>(model.layer_count()));
-  for (std::size_t l = 0; l < model.layer_count(); ++l) {
-    write_matrix(out, model.layer(l).weights);
-    write_matrix(out, model.layer(l).bias);
-  }
-  out.flush();
-  HETSGD_ASSERT(out.good(), "checkpoint write failed");
+bool write_envelope_file(const std::string& path,
+                         const std::vector<std::uint8_t>& payload,
+                         std::string* error) {
+  ByteWriter w;
+  w.write_bytes(kMagic, sizeof(kMagic));
+  w.write_u32(kCheckpointVersion);
+  w.write_u64(static_cast<std::uint64_t>(payload.size()));
+  w.write_u32(crc32(payload.data(), payload.size()));
+  w.write_bytes(payload.data(), payload.size());
+  return atomic_write_file(path, w.data().data(), w.size(), error);
 }
 
-std::optional<Model> try_load_model(const std::string& path,
-                                    std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) {
-    if (error) *error = "cannot open checkpoint for reading: " + path;
-    return std::nullopt;
+bool read_envelope_file(const std::string& path,
+                        std::vector<std::uint8_t>* payload,
+                        std::string* error) {
+  std::vector<std::uint8_t> raw;
+  if (!read_file(path, &raw, error)) return false;
+  if (raw.size() < kEnvelopeBytes) {
+    if (error) *error = "checkpoint truncated (envelope): " + path;
+    return false;
   }
+  ByteReader r(raw);
   char magic[4] = {};
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0) {
-    if (error) *error = "not a hetsgd checkpoint (bad magic)";
-    return std::nullopt;
+  r.read_bytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    if (error) *error = "not a hetsgd checkpoint (bad magic): " + path;
+    return false;
   }
   std::uint32_t version = 0;
-  if (!read_u32(in, &version)) {
-    if (error) *error = "checkpoint truncated (version)";
-    return std::nullopt;
-  }
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+  r.read_u32(&version);
+  r.read_u64(&size);
+  r.read_u32(&crc);
   if (version != kCheckpointVersion) {
     if (error) {
       *error = "unsupported checkpoint version " + std::to_string(version);
     }
-    return std::nullopt;
+    return false;
   }
+  if (size != r.remaining()) {
+    if (error) *error = "checkpoint truncated (size mismatch, torn write?): " + path;
+    return false;
+  }
+  payload->assign(raw.begin() + kEnvelopeBytes, raw.end());
+  if (crc32(payload->data(), payload->size()) != crc) {
+    if (error) *error = "checkpoint CRC mismatch (corrupt file): " + path;
+    return false;
+  }
+  return true;
+}
 
+void write_model(ByteWriter& w, const Model& model) {
+  const MlpConfig& c = model.config();
+  w.write_i64(c.input_dim);
+  w.write_i64(c.num_classes);
+  w.write_u32(static_cast<std::uint32_t>(c.hidden_layers));
+  w.write_i64(c.hidden_units);
+  w.write_u32(static_cast<std::uint32_t>(c.hidden_activation));
+  w.write_u32(static_cast<std::uint32_t>(c.init));
+
+  w.write_u32(static_cast<std::uint32_t>(model.layer_count()));
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    write_matrix(w, model.layer(l).weights);
+    write_matrix(w, model.layer(l).bias);
+  }
+}
+
+std::optional<Model> read_model(ByteReader& r, std::string* error) {
   MlpConfig c;
   std::uint32_t hidden_layers = 0;
   std::uint32_t activation = 0;
@@ -119,9 +123,9 @@ std::optional<Model> try_load_model(const std::string& path,
   std::int64_t input_dim = 0;
   std::int64_t num_classes = 0;
   std::int64_t hidden_units = 0;
-  if (!read_i64(in, &input_dim) || !read_i64(in, &num_classes) ||
-      !read_u32(in, &hidden_layers) || !read_i64(in, &hidden_units) ||
-      !read_u32(in, &activation) || !read_u32(in, &init)) {
+  if (!r.read_i64(&input_dim) || !r.read_i64(&num_classes) ||
+      !r.read_u32(&hidden_layers) || !r.read_i64(&hidden_units) ||
+      !r.read_u32(&activation) || !r.read_u32(&init)) {
     if (error) *error = "checkpoint truncated (header)";
     return std::nullopt;
   }
@@ -146,7 +150,7 @@ std::optional<Model> try_load_model(const std::string& path,
   Rng rng(0);  // placeholder init, immediately overwritten
   Model model(c, rng);
   std::uint32_t layers = 0;
-  if (!read_u32(in, &layers)) {
+  if (!r.read_u32(&layers)) {
     if (error) *error = "checkpoint truncated (layer count)";
     return std::nullopt;
   }
@@ -155,12 +159,50 @@ std::optional<Model> try_load_model(const std::string& path,
     return std::nullopt;
   }
   for (std::size_t l = 0; l < model.layer_count(); ++l) {
-    if (!read_matrix(in, model.layer(l).weights, error) ||
-        !read_matrix(in, model.layer(l).bias, error)) {
+    if (!read_matrix(r, model.layer(l).weights, error) ||
+        !read_matrix(r, model.layer(l).bias, error)) {
       return std::nullopt;
     }
   }
   return model;
+}
+
+void write_params(ByteWriter& w, const Model& model) {
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    write_matrix(w, model.layer(l).weights);
+    write_matrix(w, model.layer(l).bias);
+  }
+}
+
+bool read_params(ByteReader& r, Model& model, std::string* error) {
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    if (!read_matrix(r, model.layer(l).weights, error) ||
+        !read_matrix(r, model.layer(l).bias, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool try_save_model(const Model& model, const std::string& path,
+                    std::string* error) {
+  ByteWriter w;
+  write_model(w, model);
+  return write_envelope_file(path, w.data(), error);
+}
+
+void save_model(const Model& model, const std::string& path) {
+  std::string error;
+  const bool ok = try_save_model(model, path, &error);
+  HETSGD_ASSERT(ok, error.c_str());
+}
+
+std::optional<Model> try_load_model(const std::string& path,
+                                    std::string* error) {
+  std::vector<std::uint8_t> payload;
+  if (!read_envelope_file(path, &payload, error)) return std::nullopt;
+  ByteReader r(payload);
+  return read_model(r, error);
 }
 
 Model load_model(const std::string& path) {

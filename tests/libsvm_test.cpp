@@ -127,5 +127,73 @@ TEST(Libsvm, MissingFileDies) {
   EXPECT_DEATH(read_libsvm("/nonexistent/path.libsvm", {}), "cannot open");
 }
 
+// --- try_* API: malformed input surfaces line-numbered diagnostics instead
+// of aborting, so callers with a recovery path (resume, interactive tools)
+// can report and continue.
+
+TEST(Libsvm, TryReportsMalformedPairWithLineNumber) {
+  std::string error;
+  auto d = try_read_libsvm_string("1 1:1\n2 abc\n", {}, &error);
+  EXPECT_FALSE(d.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("malformed pair"), std::string::npos) << error;
+}
+
+TEST(Libsvm, TryReportsMissingLabel) {
+  std::string error;
+  auto d = try_read_libsvm_string("x 1:1\n", {}, &error);
+  EXPECT_FALSE(d.has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("label"), std::string::npos) << error;
+}
+
+TEST(Libsvm, TryReportsZeroIndex) {
+  std::string error;
+  auto d = try_read_libsvm_string("1 1:1\n1 1:1\n1 0:5\n", {}, &error);
+  EXPECT_FALSE(d.has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("1-based"), std::string::npos) << error;
+}
+
+TEST(Libsvm, TryReportsMissingValue) {
+  std::string error;
+  auto d = try_read_libsvm_string("1 2:\n", {}, &error);
+  EXPECT_FALSE(d.has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("missing value"), std::string::npos) << error;
+}
+
+TEST(Libsvm, TryReportsNonFiniteValue) {
+  std::string error;
+  auto d = try_read_libsvm_string("1 1:nan\n", {}, &error);
+  EXPECT_FALSE(d.has_value());
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+}
+
+TEST(Libsvm, TryReportsDimOverflowWithOffendingLine) {
+  LibsvmReadOptions options;
+  options.dim = 2;
+  std::string error;
+  auto d = try_read_libsvm_string("1 1:1\n1 5:1\n1 2:1\n", options, &error);
+  EXPECT_FALSE(d.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+}
+
+TEST(Libsvm, TryMissingFileReturnsError) {
+  std::string error;
+  auto d = try_read_libsvm("/nonexistent/path.libsvm", {}, &error);
+  EXPECT_FALSE(d.has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST(Libsvm, TryParsesGoodInput) {
+  std::string error;
+  auto d = try_read_libsvm_string("+1 1:0.5\n-1 1:1.0\n", {}, &error);
+  ASSERT_TRUE(d.has_value()) << error;
+  EXPECT_EQ(d->example_count(), 2);
+  EXPECT_TRUE(error.empty());
+}
+
 }  // namespace
 }  // namespace hetsgd::data

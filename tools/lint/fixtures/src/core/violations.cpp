@@ -4,6 +4,7 @@
 // anything else in this file must NOT be. This file is never compiled —
 // it exists only to pin the linter's behavior.
 #include <chrono>
+#include <fstream>
 #include <thread>
 
 namespace fixture {
@@ -22,6 +23,8 @@ void planted_violations(Queue& q, Queue* qp) {
   int* leak = new int(7);  // EXPECT: naked-new
   delete leak;  // EXPECT: naked-new
   std::printf("hello\n");  // EXPECT: stdout-logging
+  std::ofstream raw("ckpt.bin");  // EXPECT: ckpt-ofstream
+  (void)raw;
 }
 
 void checked_and_waived(Queue& q) {
@@ -35,8 +38,11 @@ void checked_and_waived(Queue& q) {
   std::this_thread::sleep_for(std::chrono::milliseconds(1));
   // A comment that merely *mentions* steady_clock::now or new Thing or
   // printf( must not be flagged; nor must "printf(" in a string literal:
-  const char* s = "printf(%d) sleep_for new delete";
+  const char* s = "printf(%d) sleep_for new delete std::ofstream";
   (void)s;
+  // hetsgd-lint: allow(ckpt-ofstream) fixture: sanctioned write shim
+  std::ofstream waived("shim.bin");
+  (void)waived;
 }
 
 }  // namespace fixture

@@ -24,6 +24,12 @@ Rules (each a short, greppable id):
                     through HETSGD_LOG_* (stderr); stdout is reserved for
                     program output (CSV, --help).
 
+  ckpt-ofstream     A raw `std::ofstream` in src/core/ or src/nn/. Durable
+                    training state (checkpoints, models) must go through
+                    atomic_write_file (tmp + flush + rename) so a crash can
+                    never leave a torn file; src/common/atomic_file.cpp is
+                    the one sanctioned raw-write site.
+
   tsan-supp-stale   A `race:<symbol>` entry in scripts/tsan.supp whose
                     symbol no longer exists in src/, or whose defining file
                     lacks a `hetsgd-racy` marker. Keeps the suppression
@@ -74,6 +80,8 @@ WALL_CLOCK_RE = re.compile(
 NAKED_NEW_RE = re.compile(r"(?:^|[^\w.])new\s+[A-Za-z_(]|(?:^|[^\w.])delete\s+[\w(]|delete\[\]")
 
 STDOUT_RE = re.compile(r"std::cout\b|(?:^|[^\w:.])(?:std::)?printf\s*\(")
+
+CKPT_OFSTREAM_RE = re.compile(r"\bstd::ofstream\b|(?:^|[^\w:.])ofstream\b")
 
 SUPP_RE = re.compile(r"^\s*race:(\S+)")
 
@@ -155,6 +163,15 @@ def in_core(root: str, path: str) -> bool:
     return rel.startswith(os.path.join("src", "core") + os.sep)
 
 
+def in_ckpt_scope(root: str, path: str) -> bool:
+    """Where durable state is written: raw ofstreams are banned in favor of
+    atomic_write_file. src/common/atomic_file.cpp (outside this scope) is
+    the sanctioned implementation site."""
+    rel = os.path.relpath(path, root)
+    return (rel.startswith(os.path.join("src", "core") + os.sep)
+            or rel.startswith(os.path.join("src", "nn") + os.sep))
+
+
 def allow_naked_new(root: str, path: str) -> bool:
     """Queue node internals are the one sanctioned home of new/delete."""
     rel = os.path.relpath(path, root)
@@ -189,6 +206,11 @@ def lint_file(root: str, path: str, findings: list[Finding]) -> None:
             report("wall-clock",
                    "wall-clock construct in src/core/ — scheduling is "
                    "virtual-time only; real time needs a waiver naming why")
+        if in_ckpt_scope(root, path) and CKPT_OFSTREAM_RE.search(code):
+            report("ckpt-ofstream",
+                   "raw std::ofstream in checkpoint scope — durable state "
+                   "must go through atomic_write_file (torn-write safety); "
+                   "src/common/atomic_file.cpp is the sanctioned site")
         if NAKED_NEW_RE.search(code) and not allow_naked_new(root, path):
             report("naked-new",
                    "naked new/delete outside queue node internals — use "
