@@ -16,6 +16,7 @@
 #include "core/fault.hpp"
 #include "core/trainer.hpp"
 #include "data/synthetic.hpp"
+#include "obs/exporter.hpp"
 
 using namespace hetsgd;
 
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   std::string fault_csv;
   std::string elastic_plan;
   core::FaultToleranceConfig fault;
+  obs::ObsOptions obs_options;
   CliParser cli("covtype_adaptive",
                 "Adaptive Hogbatch on a covtype-like workload");
   cli.add_double("scale", &scale, "fraction of covtype's 581k examples");
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
   cli.add_double("alpha", &alpha, "batch resize factor (Algorithm 2)");
   core::register_fault_flags(cli, &fault);
   core::register_elastic_flags(cli, &elastic_plan);
+  obs::register_obs_flags(cli, &obs_options);
   cli.add_string("fault-csv", &fault_csv,
                  "write the fault/recovery event log to this CSV");
   if (!cli.parse(argc, argv)) return 0;
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
   config.gpu.spec.half_saturation_batch = 128;
   config.fault = fault;
   config.elastic_plan = elastic_plan;
+  config.obs = obs_options;
 
   // Budget: enough virtual time for the GPU alone to do `budget` epochs.
   core::TrainingConfig probe = config;

@@ -13,6 +13,7 @@
 #include "core/trainer.hpp"
 #include "data/libsvm_io.hpp"
 #include "data/synthetic.hpp"
+#include "obs/exporter.hpp"
 
 using namespace hetsgd;
 
@@ -21,12 +22,14 @@ int main(int argc, char** argv) {
   std::string algorithm = "adaptive";
   std::int64_t max_examples = 0;
   double budget = 0.02;
+  obs::ObsOptions obs_options;
   CliParser cli("libsvm_train", "train on a LIBSVM-format file");
   cli.add_string("file", &file, "LIBSVM input (generated sample if empty)");
   cli.add_string("algorithm", &algorithm,
                  "cpu | gpu | cpu+gpu | adaptive | tensorflow");
   cli.add_int("max-examples", &max_examples, "cap on examples read (0=all)");
   cli.add_double("budget", &budget, "virtual-time budget in seconds");
+  obs::register_obs_flags(cli, &obs_options);
   if (!cli.parse(argc, argv)) return 0;
 
   if (file.empty()) {
@@ -72,6 +75,7 @@ int main(int argc, char** argv) {
   config.gpu.batch = 512;
   config.gpu.min_batch = 64;
   config.gpu.max_batch = 512;
+  config.obs = obs_options;
 
   core::Trainer trainer(std::move(dataset), config);
   core::TrainingResult r = trainer.run();

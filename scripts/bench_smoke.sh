@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# GEMM micro-benchmark smoke run + regression gate.
+# Micro-benchmark smoke run + regression gates: GEMM throughput and
+# tracing overhead.
 #
 # Builds bench/micro_gemm in a HETSGD_NATIVE=ON build (the packed kernel's
 # tuned configuration), runs the skinny/dense shape sweep against the frozen
@@ -37,3 +38,10 @@ python3 scripts/check_bench_regression.py "$RAW_JSON" \
   --out bench_results/BENCH_gemm.json \
   --baseline bench_results/BENCH_gemm_baseline.json \
   "$@"
+
+# Tracing-overhead gate (DESIGN.md §12): micro_trace times the same
+# batch-shaped workload with the tracer off and on, and fails if the
+# tracing tax exceeds 3%. The binary gates itself; BENCH_trace.json
+# records the measurement alongside BENCH_gemm.json.
+cmake --build "$BUILD_DIR" --target micro_trace -j"$(nproc)"
+"$BUILD_DIR/bench/micro_trace" --out bench_results/BENCH_trace.json

@@ -61,6 +61,15 @@ python3 tools/lint/hetsgd_lint.py \
   --compile-commands build/compile_commands.json
 echo "gate 4: PASS"
 
+# --- 4b. tracing overhead ----------------------------------------------------
+# micro_trace gates the obs layer's wall-time tax (<3%, DESIGN.md §12)
+# using the gate-1 build; bench_smoke.sh re-runs it in the tuned native
+# build and records bench_results/BENCH_trace.json.
+note "gate 4b: tracing overhead (micro_trace)"
+cmake --build build --target micro_trace -j"$JOBS"
+build/bench/micro_trace
+echo "gate 4b: PASS"
+
 if [[ "$FAST" == "1" ]]; then
   note "--fast: skipping sanitizer gates (5-6)"
   exit 0

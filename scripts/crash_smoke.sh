@@ -17,6 +17,11 @@
 # worker, so cuts are interrupted at every phase: before the first epoch
 # barrier, mid state-collection, mid rename, after the last cut.
 #
+# Observability artifacts ride along: the killed run streams metrics
+# JSONL (validated torn-tail-tolerant — SIGKILL may clip the final line,
+# never an earlier one) and the resume leg writes a trace that must load
+# and show work flowing coordinator -> worker.
+#
 # Usage:
 #   scripts/crash_smoke.sh              # 20 kill+resume iterations
 #   ITERATIONS=5 scripts/crash_smoke.sh # quicker
@@ -43,13 +48,24 @@ for ((i = 0; i < ITERATIONS; ++i)); do
   echo "=== iteration $i: crash worker=$worker atfrac=$frac ==="
 
   crash_log="$BUILD_DIR/crash_smoke_$i.log"
+  crash_metrics="$BUILD_DIR/crash_smoke_${i}_metrics.jsonl"
   set +e
   timeout "$RUN_TIMEOUT" "$ADAPTIVE" "${COMMON_ARGS[@]}" \
     --checkpoint-dir "$CKPT_DIR" \
     --fault-plan "crash:worker=$worker,atfrac=$frac" \
+    --metrics-out "$crash_metrics" --metrics-interval 50 \
     >"$crash_log" 2>&1
   status=$?
   set -e
+
+  # The killed run's metrics stream is the crash-consistency half of the
+  # observability contract: every completed JSONL line must still parse;
+  # only the final line may be torn by the SIGKILL. (A run killed before
+  # its first 50ms snapshot leaves the file empty — nothing to check.)
+  if [[ -s "$crash_metrics" ]]; then
+    python3 scripts/validate_trace.py \
+      --metrics "$crash_metrics" --allow-torn-tail
+  fi
   if [[ $status -ne 137 && $status -ne 0 ]]; then
     echo "FAIL: crash leg exited $status (expected 137 SIGKILL or 0)"
     tail -25 "$crash_log"
@@ -60,13 +76,19 @@ for ((i = 0; i < ITERATIONS; ++i)); do
   compgen -G "$CKPT_DIR/ckpt-*.hetsgd" >/dev/null && had_checkpoint=1
 
   resume_log="$BUILD_DIR/crash_smoke_${i}_resume.log"
+  resume_trace="$BUILD_DIR/crash_smoke_${i}_trace.json"
   if ! timeout "$RUN_TIMEOUT" "$ADAPTIVE" "${COMMON_ARGS[@]}" \
       --checkpoint-dir "$CKPT_DIR" --resume "$CKPT_DIR" \
+      --trace-out "$resume_trace" \
       >"$resume_log" 2>&1; then
     echo "FAIL: resume leg crashed, hung, or hit non-finite loss"
     tail -25 "$resume_log"
     exit 1
   fi
+  # The resume leg runs to completion, so its trace must be a loadable
+  # timeline with work flowing coordinator -> worker.
+  python3 scripts/validate_trace.py --trace "$resume_trace" \
+    --require-span execute --require-flow
   if [[ $had_checkpoint -eq 1 ]] \
       && ! grep -q "resumed from checkpoint" "$resume_log"; then
     echo "FAIL: checkpoints existed but the restart did not resume"

@@ -8,6 +8,11 @@ Requires matplotlib. Usage:
 Produces fig5 (loss vs time, per dataset), fig6 (loss vs epochs), fig7
 (utilization timelines), and fig8 (update distribution bars) as PNGs —
 the visual counterparts of the tables the bench binaries print.
+
+For a per-batch timeline of a single run (spans, flows, fault events),
+use the tracer instead of these aggregate plots: run the trainer with
+--trace-out trace.json and open the file in Perfetto (https://ui.perfetto.dev)
+or chrome://tracing. See README "Observability".
 """
 
 import argparse

@@ -8,6 +8,7 @@
 #include "gpusim/perf_model.hpp"
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/exporter.hpp"
 #include "tensor/types.hpp"
 
 namespace hetsgd::core {
@@ -132,6 +133,11 @@ struct TrainingConfig {
   // join or retire mid-run at chosen virtual times. Empty = fixed
   // membership for the whole run.
   std::string elastic_plan;
+
+  // Observability (src/obs): span-trace output, metrics exporter and
+  // scrape endpoint. Deliberately excluded from config_fingerprint —
+  // turning tracing on must not invalidate checkpoints.
+  obs::ObsOptions obs;
 
   // Effective learning rate for an update computed over `update_batch`
   // examples.

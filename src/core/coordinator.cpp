@@ -10,10 +10,44 @@
 #include "core/cost_model.hpp"
 #include "nn/mlp.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hetsgd::core {
 
 using tensor::Index;
+
+namespace {
+
+// Hot-path metric handles, resolved once (registration takes the
+// registry mutex; the handles themselves are lock-free).
+struct CoordMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  obs::Counter& dispatches = reg.counter("hetsgd_dispatches_total");
+  obs::Counter& examples = reg.counter("hetsgd_examples_dispatched_total");
+  obs::Counter& reclaims = reg.counter("hetsgd_reclaims_total");
+  obs::Counter& redispatches = reg.counter("hetsgd_redispatches_total");
+  obs::Counter& quarantines = reg.counter("hetsgd_quarantines_total");
+  obs::Counter& rollbacks = reg.counter("hetsgd_rollbacks_total");
+  obs::Counter& checkpoints = reg.counter("hetsgd_checkpoints_total");
+  obs::Counter& late_reports = reg.counter("hetsgd_late_reports_total");
+  obs::Counter& epoch_flips = reg.counter("hetsgd_epoch_flips_total");
+  obs::Gauge& loss = reg.gauge("hetsgd_loss");
+  obs::Gauge& lr_scale = reg.gauge("hetsgd_lr_scale");
+  obs::Gauge& vtime = reg.gauge("hetsgd_vtime_frontier_vseconds");
+  obs::Histogram& batch_cost = reg.histogram("hetsgd_batch_cost_vseconds");
+
+  CoordMetrics() { lr_scale.set(1.0); }  // no rollback yet = full rate
+};
+
+CoordMetrics& metrics() {
+  // hetsgd-lint: allow(naked-new) leaked singleton: metric refs must
+  // outlive static destruction of every instrumented thread
+  static CoordMetrics* m = new CoordMetrics();
+  return *m;
+}
+
+}  // namespace
 
 Coordinator::Coordinator(data::Dataset& dataset, nn::Model& model,
                          const TrainingConfig& config,
@@ -218,6 +252,19 @@ void Coordinator::on_schedule(const msg::ScheduleWork& report) {
                 "report from unknown worker");
   WorkerRuntime& w = workers_[static_cast<std::size_t>(id)];
 
+  // Ledger apply closes the batch's cross-thread flow (dispatch -> worker
+  // execute -> report -> here).
+  HETSGD_TRACE_SPAN(apply_span, "coordinator", "ledger_apply",
+                    report.clock_vtime,
+                    report.examples > 0
+                        ? obs::batch_flow_id(id, report.sequence)
+                        : 0);
+  if (report.examples > 0) {
+    obs::trace_flow_end("batch", obs::batch_flow_id(id, report.sequence),
+                        report.clock_vtime);
+  }
+  metrics().vtime.set(ledger_.max_clock());
+
   const bool late =
       report.examples > 0 && report.sequence <= w.reclaimed_through;
 
@@ -236,6 +283,7 @@ void Coordinator::on_schedule(const msg::ScheduleWork& report) {
     ledger_.on_late_report(report);
     ++late_reports_;
     late_examples_ += report.examples;
+    metrics().late_reports.inc();
     HETSGD_LOG_WARN("coordinator",
                     "late report from worker %d (seq %llu <= reclaimed %llu)",
                     id, static_cast<unsigned long long>(report.sequence),
@@ -328,6 +376,9 @@ void Coordinator::reclaim_inflight(msg::WorkerId id, double vtime,
   const Index size = w.inflight_size;
   reclaim_pool_.push_back({begin, size});
   examples_reclaimed_ += static_cast<std::uint64_t>(size);
+  metrics().reclaims.inc();
+  HETSGD_TRACE_INSTANT("coordinator", "reclaim", vtime,
+                       obs::batch_flow_id(id, w.dispatch_seq));
   w.reclaimed_through = w.dispatch_seq;
   w.inflight_size = 0;
   w.busy = false;
@@ -346,6 +397,8 @@ void Coordinator::note_fault(msg::WorkerId id, double vtime) {
       w.fault_count >= std::max<std::int64_t>(1, config_.fault.quarantine_after)) {
     w.quarantined = true;
     w.waiting = false;
+    metrics().quarantines.inc();
+    HETSGD_TRACE_INSTANT("coordinator", "quarantine", vtime);
     ledger_.record_fault({vtime, id, FaultKind::kQuarantine, 0,
                           "repeated deadline misses"});
     HETSGD_LOG_WARN("coordinator", "worker %d quarantined after %lld faults",
@@ -481,7 +534,18 @@ void Coordinator::dispatch_range(msg::WorkerId id, Index begin, Index size,
   w.busy = true;
   w.waiting = false;
   examples_dispatched_ += static_cast<std::uint64_t>(size);
+  metrics().dispatches.inc();
+  metrics().examples.inc(static_cast<std::uint64_t>(size));
+  metrics().batch_cost.observe(cost);
+  // Flow start: the batch's journey across threads begins here; workers
+  // derive the same id from (worker, sequence) to continue it.
+  obs::trace_flow_begin("batch", obs::batch_flow_id(id, work.sequence),
+                        start);
+  HETSGD_TRACE_INSTANT("coordinator",
+                       reclaimed ? "redispatch" : "dispatch", start,
+                       obs::batch_flow_id(id, work.sequence));
   if (reclaimed) {
+    metrics().redispatches.inc();
     ledger_.record_fault({start, id, FaultKind::kRedispatch,
                           static_cast<std::uint64_t>(size),
                           "reclaimed range re-dispatched"});
@@ -553,6 +617,8 @@ void Coordinator::maybe_flip_epoch() {
   // fast workers can flip thousands of tiny epochs), then reshuffle and
   // restart.
   ++epoch_;
+  metrics().epoch_flips.inc();
+  HETSGD_TRACE_INSTANT("coordinator", "epoch_flip", ledger_.max_clock());
   double boundary = ledger_.max_clock();
   if (config_.eval_interval_vseconds <= 0.0) {
     evaluate_loss(boundary);
@@ -602,6 +668,7 @@ void Coordinator::maybe_flip_epoch() {
 }
 
 void Coordinator::evaluate_loss(double vtime) {
+  HETSGD_TRACE_SPAN(eval_span, "coordinator", "evaluate_loss", vtime);
   // hetsgd-racy: snapshot of the shared model races with the Hogwild
   // lanes' unsynchronized writes (nn::Model::operator= in tsan.supp);
   // evaluating the snapshot keeps the measurement internally consistent.
@@ -628,6 +695,8 @@ void Coordinator::evaluate_loss(double vtime) {
   last_good_model_ = eval_snapshot_;
   last_good_loss_ = loss;
   has_last_good_ = true;
+  metrics().loss.set(loss);
+  HETSGD_TRACE_COUNTER("loss", loss);
   maybe_auto_checkpoint();
   curve_.push_back({vtime, epochs_completed(), loss});
 }
@@ -639,6 +708,7 @@ void Coordinator::handle_divergence(double vtime, double loss) {
     ledger_.record_fault({vtime, msg::kCoordinator,
                           FaultKind::kDivergenceAbort, 0,
                           "non-finite evaluated loss"});
+    HETSGD_TRACE_INSTANT("coordinator", "divergence_abort", vtime);
     diverged_ = true;
     curve_.push_back({vtime, epochs_completed(), loss});
     begin_shutdown();
@@ -652,6 +722,9 @@ void Coordinator::handle_divergence(double vtime, double loss) {
   model_ = last_good_model_;
   lr_scale_ *= config_.fault.lr_backoff;
   ++rollbacks_;
+  metrics().rollbacks.inc();
+  metrics().lr_scale.set(lr_scale_);
+  HETSGD_TRACE_INSTANT("coordinator", "rollback", vtime);
   HETSGD_LOG_WARN("coordinator",
                   "non-finite loss at vtime %.6f; rolled back (lr x%.3g)",
                   vtime, lr_scale_);
@@ -846,6 +919,7 @@ void Coordinator::maybe_complete_checkpoint() {
 
 void Coordinator::write_full_checkpoint() {
   HETSGD_ASSERT(ckpt_mgr_ != nullptr, "checkpoint write without a manager");
+  HETSGD_TRACE_SCOPE("coordinator", "checkpoint_write");
   TrainingCheckpoint ckpt;
   ckpt.fingerprint = fingerprint_;
   ckpt.seed = config_.seed;
@@ -900,6 +974,7 @@ void Coordinator::write_full_checkpoint() {
   std::string error;
   if (ckpt_mgr_->save(ckpt, &error)) {
     ++checkpoints_written_;
+    metrics().checkpoints.inc();
   } else {
     // Durability degrades, correctness does not: the run continues and the
     // next barrier tries again.

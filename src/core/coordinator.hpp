@@ -119,6 +119,12 @@ class Coordinator final : public msg::Actor {
   const std::vector<LossPoint>& loss_curve() const HETSGD_POST_JOIN_ACCESS {
     return curve_;
   }
+  // Mid-run-safe copy of the loss curve for live scrapers (metrics
+  // exporter); locks, unlike the post-join reference accessor above.
+  std::vector<LossPoint> loss_curve_snapshot() const HETSGD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return curve_;
+  }
   std::uint64_t epoch_flips() const HETSGD_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return epoch_;

@@ -11,6 +11,8 @@
 #include "common/logging.hpp"
 #include "common/macros.hpp"
 #include "core/cost_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hetsgd::core {
 
@@ -78,6 +80,10 @@ bool CpuWorker::execute(const msg::ExecuteWork& work) {
   HETSGD_ASSERT(begin + size <= dataset_.example_count(),
                 "batch out of dataset range");
 
+  const std::uint64_t flow = obs::batch_flow_id(id_, work.sequence);
+  HETSGD_TRACE_SPAN(exec_span, "cpu-worker", "execute", clock_.now(), flow);
+  obs::trace_flow_step("batch", flow, clock_.now());
+
   // Epoch-boundary waits (not_before) appear as idle virtual time; faults
   // trigger on the clock the batch actually starts at.
   clock_.advance_to(work.not_before);
@@ -125,7 +131,9 @@ bool CpuWorker::execute(const msg::ExecuteWork& work) {
 
   // Hogwild: every lane reads the shared model, computes its sub-batch
   // gradient, and writes the update back with no synchronization.
-  pool_.parallel_for(
+  {
+    HETSGD_TRACE_SCOPE("cpu-worker", "hogwild_parallel_for");
+    pool_.parallel_for(
       static_cast<std::size_t>(num_sub),
       [&](std::size_t first, std::size_t last, std::size_t lane) {
         nn::Workspace& ws = workspaces_[lane];
@@ -141,6 +149,7 @@ bool CpuWorker::execute(const msg::ExecuteWork& work) {
                                  static_cast<tensor::Scalar>(lr));
         }
       });
+  }
 
   if (fault_plan_ != nullptr &&
       fault_plan_->corruption_due(id_, clock_.now())) {
@@ -166,6 +175,7 @@ bool CpuWorker::execute(const msg::ExecuteWork& work) {
   clock_.advance(cost);
   busy_vtime_ += cost;
   updates_scaled_ += static_cast<double>(num_sub) * config_.beta;
+  exec_span.set_end_vt(clock_.now());
 
   const double intensity = cpu_batch_intensity(
       std::min<int>(static_cast<int>(num_sub), perf_.spec().lanes),

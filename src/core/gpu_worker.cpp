@@ -10,6 +10,8 @@
 #include "common/logging.hpp"
 #include "common/macros.hpp"
 #include "core/cost_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hetsgd::core {
 
@@ -75,6 +77,10 @@ bool GpuWorker::execute(const msg::ExecuteWork& work) {
                 "batch out of dataset range");
   HETSGD_ASSERT(size <= config_.gpu.max_batch, "batch exceeds device buffers");
 
+  const std::uint64_t flow = obs::batch_flow_id(id_, work.sequence);
+  HETSGD_TRACE_SPAN(exec_span, "gpu-worker", "execute", clock_.now(), flow);
+  obs::trace_flow_step("batch", flow, clock_.now());
+
   clock_.advance_to(work.not_before);
   FaultPlan::StallState stall;
   if (fault_plan_ != nullptr) {
@@ -124,15 +130,34 @@ bool GpuWorker::execute(const msg::ExecuteWork& work) {
       // reads race with concurrent CPU-lane updates — Hogwild semantics
       // extend across the PCIe boundary. The host-side snapshot is kept to
       // measure how stale the replica became by merge time.
-      upload_snapshot_ = model_;
-      device_mlp_->upload_model(upload_snapshot_, clock_.now());
-      done = clock_.now();
-      device_mlp_->compute_gradient(x, y, clock_.now(), &done);
-      done = device_mlp_->download_gradient(host_gradient_, clock_.now());
+      {
+        HETSGD_TRACE_SPAN(h2d_span, "gpu-worker", "upload_model",
+                          clock_.now(), flow);
+        upload_snapshot_ = model_;
+        device_mlp_->upload_model(upload_snapshot_, clock_.now());
+        done = clock_.now();
+        h2d_span.set_end_vt(done);
+      }
+      {
+        HETSGD_TRACE_SPAN(kernel_span, "gpu-worker", "compute_gradient",
+                          clock_.now(), flow);
+        device_mlp_->compute_gradient(x, y, clock_.now(), &done);
+        kernel_span.set_end_vt(done);
+      }
+      {
+        HETSGD_TRACE_SPAN(d2h_span, "gpu-worker", "download_gradient",
+                          clock_.now(), flow);
+        done = device_mlp_->download_gradient(host_gradient_, clock_.now());
+        d2h_span.set_end_vt(done);
+      }
       break;
     } catch (const gpusim::TransferError& e) {
       if (attempt >= max_retries) throw;  // escalate to the coordinator
       ++transfer_retries_;
+      static obs::Counter& retry_counter = obs::MetricsRegistry::instance()
+          .counter("hetsgd_transfer_retries_total");
+      retry_counter.inc();
+      HETSGD_TRACE_INSTANT("fault", "transfer_retry", clock_.now(), flow);
       const int shift = static_cast<int>(std::min<std::int64_t>(attempt, 10));
       const double backoff = config_.fault.transfer_backoff_vseconds *
                              static_cast<double>(std::int64_t{1} << shift);
@@ -170,10 +195,14 @@ bool GpuWorker::execute(const msg::ExecuteWork& work) {
       nn::lr_multiplier(config_.lr_schedule,
                         static_cast<double>(work.epoch)) *
       lr_scale;
-  optimizer_.step(model_, host_gradient_, static_cast<tensor::Scalar>(lr));
-  if (config_.gpu.host_merge_bandwidth > 0.0) {
-    done += 2.0 * static_cast<double>(model_bytes(config_.mlp)) /
-            config_.gpu.host_merge_bandwidth;
+  {
+    HETSGD_TRACE_SPAN(merge_span, "gpu-worker", "host_merge",
+                      clock_.now(), flow);
+    optimizer_.step(model_, host_gradient_, static_cast<tensor::Scalar>(lr));
+    if (config_.gpu.host_merge_bandwidth > 0.0) {
+      done += 2.0 * static_cast<double>(model_bytes(config_.mlp)) /
+              config_.gpu.host_merge_bandwidth;
+    }
   }
 
   // Stalls inflate the compute span (issue -> done) by the configured
@@ -183,6 +212,7 @@ bool GpuWorker::execute(const msg::ExecuteWork& work) {
   clock_.advance_to(done);
   busy_vtime_ += clock_.now() - issue;
   ++updates_;
+  exec_span.set_end_vt(clock_.now());
 
   msg::ScheduleWork req;
   req.worker = id_;

@@ -11,12 +11,15 @@
 #include "common/csv_writer.hpp"
 #include "common/logging.hpp"
 #include "common/macros.hpp"
-#include "common/timer.hpp"
 #include "core/cpu_worker.hpp"
 #include "core/elastic.hpp"
 #include "core/gpu_worker.hpp"
 #include "core/minibatch_reference.hpp"
 #include "nn/serialize.hpp"
+#include "obs/clock.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hetsgd::core {
 
@@ -66,10 +69,28 @@ Trainer::Trainer(data::Dataset dataset, TrainingConfig config,
 }
 
 TrainingResult Trainer::run() {
-  if (config_.algorithm == Algorithm::kTensorFlow) {
-    return run_reference();
+  // Tracing brackets the whole run so actor startup/shutdown is visible.
+  // stop_and_write is safe (and writes a valid empty trace) when tracing
+  // was compiled out with HETSGD_TRACE=OFF.
+  const bool tracing = !config_.obs.trace_out.empty();
+  if (tracing) {
+    obs::Tracer::instance().start(static_cast<std::size_t>(
+        std::max<std::int64_t>(config_.obs.trace_buffer, 1024)));
   }
-  return run_framework();
+  TrainingResult result = config_.algorithm == Algorithm::kTensorFlow
+                              ? run_reference()
+                              : run_framework();
+  if (tracing) {
+    std::string error;
+    if (!obs::Tracer::instance().stop_and_write(config_.obs.trace_out,
+                                                &error)) {
+      HETSGD_LOG_WARN("trainer", "trace export failed: %s", error.c_str());
+    } else {
+      HETSGD_LOG_INFO("trainer", "trace written to %s",
+                      config_.obs.trace_out.c_str());
+    }
+  }
+  return result;
 }
 
 namespace {
@@ -87,7 +108,7 @@ void fill_curve_stats(TrainingResult& r) {
 }  // namespace
 
 TrainingResult Trainer::run_framework() {
-  WallTimer timer;
+  obs::WallStopwatch timer;
   // Fresh working copy per run: shuffles must not accumulate across runs.
   data::Dataset working = dataset_;
 
@@ -250,6 +271,47 @@ TrainingResult Trainer::run_framework() {
     elastic.resolve_times(config_.time_budget_vseconds);
   }
 
+  // Live metrics export (src/obs). The collect hook runs on the exporter
+  // thread mid-run and scrapes the UpdateLedger / loss curve through
+  // their locked snapshot accessors — this is the concurrent observer the
+  // ledger's thread-safety contract promises to support.
+  obs::MetricsExporter::Options obs_opts;
+  obs_opts.jsonl_path = config_.obs.metrics_out;
+  obs_opts.interval_ms = config_.obs.metrics_interval_ms;
+  obs_opts.port = static_cast<int>(config_.obs.metrics_port);
+  obs::MetricsExporter exporter(obs_opts);
+  const bool export_metrics =
+      !config_.obs.metrics_out.empty() || config_.obs.metrics_port >= 0;
+  if (export_metrics) {
+    exporter.set_collect_hook([&coordinator] {
+      auto& reg = obs::MetricsRegistry::instance();
+      for (const WorkerStats& s : coordinator.ledger().all()) {
+        const std::string p = "hetsgd_worker" + std::to_string(s.id) + "_";
+        reg.gauge(p + "updates").set(static_cast<double>(s.updates));
+        reg.gauge(p + "examples").set(static_cast<double>(s.examples));
+        reg.gauge(p + "busy_vseconds").set(s.busy_vtime);
+        reg.gauge(p + "clock_vseconds").set(s.clock);
+        reg.gauge(p + "batch").set(static_cast<double>(s.current_batch));
+        reg.gauge(p + "max_staleness").set(s.max_staleness);
+      }
+      reg.gauge("hetsgd_fault_records").set(static_cast<double>(
+          coordinator.ledger().fault_records().size()));
+      const auto curve = coordinator.loss_curve_snapshot();
+      reg.gauge("hetsgd_loss_points").set(static_cast<double>(curve.size()));
+      if (!curve.empty()) {
+        reg.gauge("hetsgd_loss_latest").set(curve.back().loss);
+      }
+    });
+    std::string error;
+    if (!exporter.start(&error)) {
+      HETSGD_LOG_WARN("trainer", "metrics exporter disabled: %s",
+                      error.c_str());
+    } else if (exporter.scrape_port() >= 0) {
+      HETSGD_LOG_INFO("trainer", "metrics scrape endpoint on 127.0.0.1:%d",
+                      exporter.scrape_port());
+    }
+  }
+
   if (cpu_worker) cpu_worker->start();
   for (auto& g : gpu_workers) g->start();
   coordinator.start();
@@ -316,6 +378,9 @@ TrainingResult Trainer::run_framework() {
   for (auto& g : gpu_workers) g->join();
   for (auto& w : joined_cpu) w->join();
   for (auto& g : joined_gpu) g->join();
+  // Final snapshot at the quiescent point; must precede the coordinator
+  // leaving scope since the collect hook reads through it.
+  exporter.stop();
 
   TrainingResult result;
   result.algorithm = config_.algorithm;
@@ -379,7 +444,7 @@ TrainingResult Trainer::run_framework() {
 }
 
 TrainingResult Trainer::run_reference() {
-  WallTimer timer;
+  obs::WallStopwatch timer;
   data::Dataset working = dataset_;
   ReferenceOptions options;
   options.eval_interval_vseconds = config_.eval_interval_vseconds;

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hetsgd::core {
 
@@ -112,6 +114,13 @@ void UpdateLedger::restore_stats(const WorkerStats& stats) {
 }
 
 void UpdateLedger::record_fault(FaultRecord record) {
+  // Every fault/recovery event is observable: one trace instant (named
+  // after the FaultKind — fault_kind_name returns static strings) and a
+  // process-global counter. Emitted outside the ledger lock.
+  static obs::Counter& fault_counter =
+      obs::MetricsRegistry::instance().counter("hetsgd_fault_records_total");
+  fault_counter.inc();
+  HETSGD_TRACE_INSTANT("fault", fault_kind_name(record.kind), record.vtime);
   MutexLock lock(mu_);
   faults_.push_back(std::move(record));
 }

@@ -5,8 +5,31 @@
 #include <string>
 
 #include "common/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hetsgd::gpusim {
+
+namespace {
+
+// Process-global transfer metrics, cached once: Device methods are on the
+// GPU workers' hot path, so the registry map lookup must not recur.
+struct DeviceMetrics {
+  obs::Counter& transfers =
+      obs::MetricsRegistry::instance().counter("hetsgd_gpu_transfers_total");
+  obs::Counter& transfer_bytes = obs::MetricsRegistry::instance().counter(
+      "hetsgd_gpu_transfer_bytes_total");
+  obs::Counter& kernels =
+      obs::MetricsRegistry::instance().counter("hetsgd_gpu_kernels_total");
+};
+
+DeviceMetrics& device_metrics() {
+  // hetsgd-lint: allow(naked-new) leaked singleton: outlives statics
+  static DeviceMetrics* m = new DeviceMetrics();
+  return *m;
+}
+
+}  // namespace
 
 Device::Device(DeviceSpec spec)
     : perf_(std::move(spec)), allocator_(perf_.spec().memory_capacity) {
@@ -35,26 +58,38 @@ double Device::copy_to_device(tensor::ConstMatrixView host, DeviceMatrix& dst,
                               Stream& stream, double issue_time) {
   HETSGD_ASSERT(host.rows() == dst.rows() && host.cols() == dst.cols(),
                 "H2D copy shape mismatch");
+  HETSGD_TRACE_SPAN(span, "gpusim", "h2d_copy", issue_time);
   check_transfer_fault("H2D");
   auto dv = dst.device_view();
   std::memcpy(dv.data(), host.data(),
               static_cast<std::size_t>(host.size()) * sizeof(tensor::Scalar));
   ++transfer_count_;
   bytes_transferred_ += dst.bytes();
-  return stream.enqueue(perf_.transfer_seconds(dst.bytes()), issue_time);
+  device_metrics().transfers.inc();
+  device_metrics().transfer_bytes.inc(dst.bytes());
+  const double done = stream.enqueue(perf_.transfer_seconds(dst.bytes()),
+                                     issue_time);
+  span.set_end_vt(done);
+  return done;
 }
 
 double Device::copy_to_host(const DeviceMatrix& src, tensor::MatrixView host,
                             Stream& stream, double issue_time) {
   HETSGD_ASSERT(host.rows() == src.rows() && host.cols() == src.cols(),
                 "D2H copy shape mismatch");
+  HETSGD_TRACE_SPAN(span, "gpusim", "d2h_copy", issue_time);
   check_transfer_fault("D2H");
   auto sv = src.device_view();
   std::memcpy(host.data(), sv.data(),
               static_cast<std::size_t>(host.size()) * sizeof(tensor::Scalar));
   ++transfer_count_;
   bytes_transferred_ += src.bytes();
-  return stream.enqueue(perf_.transfer_seconds(src.bytes()), issue_time);
+  device_metrics().transfers.inc();
+  device_metrics().transfer_bytes.inc(src.bytes());
+  const double done = stream.enqueue(perf_.transfer_seconds(src.bytes()),
+                                     issue_time);
+  span.set_end_vt(done);
+  return done;
 }
 
 double Device::copy_on_device(const DeviceMatrix& src, DeviceMatrix& dst,
@@ -77,16 +112,22 @@ double Device::gemm(tensor::Trans ta, tensor::Trans tb, tensor::Scalar alpha,
                     tensor::Scalar beta, DeviceMatrix& c, Stream& stream,
                     double issue_time) {
   ++kernel_count_;
+  device_metrics().kernels.inc();
+  HETSGD_TRACE_SPAN(span, "gpusim", "gemm_kernel", issue_time);
   tensor::gemm(ta, tb, alpha, a.device_view(), b.device_view(), beta,
                c.device_view());
   const auto dims = tensor::check_gemm_shapes(ta, tb, a.device_view(),
                                               b.device_view(), c.device_view());
-  return stream.enqueue(perf_.gemm_seconds(dims.m, dims.n, dims.k), issue_time);
+  const double done =
+      stream.enqueue(perf_.gemm_seconds(dims.m, dims.n, dims.k), issue_time);
+  span.set_end_vt(done);
+  return done;
 }
 
 double Device::add_row_bias(const DeviceMatrix& bias, DeviceMatrix& m,
                             Stream& stream, double issue_time) {
   ++kernel_count_;
+  device_metrics().kernels.inc();
   tensor::add_row_bias(bias.device_view(), m.device_view());
   return stream.enqueue(
       perf_.elementwise_seconds(static_cast<std::uint64_t>(m.size())),
@@ -96,6 +137,7 @@ double Device::add_row_bias(const DeviceMatrix& bias, DeviceMatrix& m,
 double Device::col_sums(const DeviceMatrix& m, DeviceMatrix& out,
                         Stream& stream, double issue_time) {
   ++kernel_count_;
+  device_metrics().kernels.inc();
   tensor::col_sums(m.device_view(), out.device_view());
   return stream.enqueue(
       perf_.elementwise_seconds(static_cast<std::uint64_t>(m.size())),
@@ -105,6 +147,7 @@ double Device::col_sums(const DeviceMatrix& m, DeviceMatrix& out,
 double Device::axpy(tensor::Scalar alpha, const DeviceMatrix& x,
                     DeviceMatrix& y, Stream& stream, double issue_time) {
   ++kernel_count_;
+  device_metrics().kernels.inc();
   tensor::axpy(alpha, x.device_view(), y.device_view());
   return stream.enqueue(
       perf_.elementwise_seconds(static_cast<std::uint64_t>(x.size())),
@@ -114,6 +157,7 @@ double Device::axpy(tensor::Scalar alpha, const DeviceMatrix& x,
 double Device::scale(tensor::Scalar alpha, DeviceMatrix& x, Stream& stream,
                      double issue_time) {
   ++kernel_count_;
+  device_metrics().kernels.inc();
   tensor::scale(alpha, x.device_view());
   return stream.enqueue(
       perf_.elementwise_seconds(static_cast<std::uint64_t>(x.size())),
@@ -123,6 +167,7 @@ double Device::scale(tensor::Scalar alpha, DeviceMatrix& x, Stream& stream,
 double Device::softmax_rows(DeviceMatrix& m, Stream& stream,
                             double issue_time) {
   ++kernel_count_;
+  device_metrics().kernels.inc();
   tensor::softmax_rows(m.device_view());
   // Softmax reads/writes each element a handful of times; charge 4 passes.
   return stream.enqueue(

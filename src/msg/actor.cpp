@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/macros.hpp"
+#include "obs/trace.hpp"
 
 namespace hetsgd::msg {
 
@@ -37,6 +38,8 @@ bool Actor::on_handle_exception(const std::string& what) {
 }
 
 void Actor::run() {
+  // Name this actor's track in any exported span trace.
+  obs::Tracer::set_thread_name(name_);
   on_start();
   for (;;) {
     std::optional<Envelope> envelope;

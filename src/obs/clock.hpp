@@ -1,0 +1,39 @@
+// Observability wall clock: the single sanctioned raw-clock read site.
+//
+// Everything in src/obs stamps events with nanoseconds from a
+// process-global steady epoch so spans recorded on different threads
+// land on one comparable timeline. Instrumented code outside obs/ must
+// go through the HETSGD_TRACE_* macros or obs::WallStopwatch instead of
+// reading std::chrono clocks directly (enforced by the `adhoc-timer`
+// lint rule).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hetsgd::obs {
+
+// Nanoseconds since an arbitrary process-global steady epoch.
+inline std::uint64_t wall_now_ns() {
+  // hetsgd-lint: allow(wall-clock) obs clock shim is the sanctioned read site
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Minimal stopwatch for code that needs elapsed wall time (e.g. the
+// trainer's wall_seconds result) without touching std::chrono itself.
+class WallStopwatch {
+ public:
+  WallStopwatch() : start_ns_(wall_now_ns()) {}
+  void reset() { start_ns_ = wall_now_ns(); }
+  double elapsed_seconds() const {
+    return static_cast<double>(wall_now_ns() - start_ns_) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+}  // namespace hetsgd::obs

@@ -1,0 +1,410 @@
+#include "obs/trace.hpp"
+
+#if !defined(HETSGD_TRACE_DISABLED)
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/thread_annotations.hpp"
+#include "concurrent/spsc_ring.hpp"
+#include "obs/clock.hpp"
+
+namespace hetsgd::obs {
+namespace {
+
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::size_t capacity) : ring(capacity) {}
+  concurrent::SpscRing<TraceEvent> ring;  // producer: owning thread;
+                                          // consumer: flusher (then the
+                                          // stopping thread after join)
+  std::atomic<std::uint64_t> dropped{0};
+  int tid = 0;          // dense track id, assigned at registration
+  std::string name;     // guarded by State::mu
+};
+
+struct State {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> epoch{0};  // bumped by start(); TLS slots
+                                        // from older epochs re-register
+  std::atomic<std::uint64_t> collected{0};
+
+  AnnotatedMutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers HETSGD_GUARDED_BY(mu);
+  std::size_t capacity HETSGD_GUARDED_BY(mu) = std::size_t{1} << 15;
+  std::uint64_t base_ns HETSGD_GUARDED_BY(mu) = 0;
+
+  // Flusher lifecycle (guarded by mu / cv).
+  std::thread flusher;
+  std::mutex cv_mu;
+  std::condition_variable cv;
+  bool flusher_stop = false;  // guarded by cv_mu
+
+  // Drained events. Written only by the flusher while it runs and by
+  // the stopping thread after join(); the join is the sync point.
+  std::vector<TraceEvent> sink;
+};
+
+State& state() {
+  // hetsgd-lint: allow(naked-new) leaked singleton: outlives all threads
+  static State* s = new State();
+  return *s;
+}
+
+struct TlsSlot {
+  ThreadBuffer* buf = nullptr;
+  std::uint64_t epoch = ~std::uint64_t{0};
+  std::string pending_name;  // name set before the tracer started
+};
+
+thread_local TlsSlot tls_slot;
+
+ThreadBuffer* register_thread() {
+  State& s = state();
+  MutexLock lock(s.mu);
+  s.buffers.push_back(std::make_unique<ThreadBuffer>(s.capacity));
+  ThreadBuffer* buf = s.buffers.back().get();
+  buf->tid = static_cast<int>(s.buffers.size());
+  buf->name = tls_slot.pending_name;
+  return buf;
+}
+
+ThreadBuffer* this_thread_buffer() {
+  State& s = state();
+  const std::uint64_t epoch = s.epoch.load(std::memory_order_acquire);
+  if (tls_slot.epoch != epoch) {
+    tls_slot.buf = register_thread();
+    tls_slot.epoch = epoch;
+  }
+  return tls_slot.buf;
+}
+
+void drain_all_locked_snapshot(std::vector<ThreadBuffer*> const& bufs) {
+  State& s = state();
+  for (ThreadBuffer* b : bufs) {
+    while (auto ev = b->ring.try_pop()) {
+      s.sink.push_back(*ev);
+    }
+  }
+  s.collected.store(s.sink.size(), std::memory_order_relaxed);
+}
+
+std::vector<ThreadBuffer*> snapshot_buffers() {
+  State& s = state();
+  MutexLock lock(s.mu);
+  std::vector<ThreadBuffer*> out;
+  out.reserve(s.buffers.size());
+  for (auto& b : s.buffers) out.push_back(b.get());
+  return out;
+}
+
+void flusher_main() {
+  State& s = state();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(s.cv_mu);
+      // 50ms cadence: the default 32k-event rings absorb far more than
+      // any observed production rate over that window, and each wake
+      // costs real time on a loaded host (context switch + the cache
+      // lines the drain touches) — waking often is pure overhead.
+      s.cv.wait_for(lk, std::chrono::milliseconds(50),
+                    [&] { return s.flusher_stop; });
+      if (s.flusher_stop) return;
+    }
+    drain_all_locked_snapshot(snapshot_buffers());
+  }
+}
+
+void json_escape(std::string* out, const char* str) {
+  for (const char* p = str; *p; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void append_event_json(std::string* out, const TraceEvent& e, int tid,
+                       std::uint64_t base_ns) {
+  char buf[256];
+  const double ts_us =
+      static_cast<double>(e.ts_ns - std::min(e.ts_ns, base_ns)) / 1000.0;
+  *out += "{\"name\":\"";
+  json_escape(out, e.name != nullptr ? e.name : "");
+  *out += "\",\"cat\":\"";
+  json_escape(out, e.cat != nullptr ? e.cat : "hetsgd");
+  std::snprintf(buf, sizeof(buf), "\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%.3f",
+                e.phase, tid, ts_us);
+  *out += buf;
+  if (e.phase == 'X') {
+    std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    *out += buf;
+  }
+  if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+    std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(e.flow));
+    *out += buf;
+    if (e.phase == 'f') *out += ",\"bp\":\"e\"";
+  }
+  if (e.phase == 'i') *out += ",\"s\":\"t\"";
+  // args: both clocks plus flow/counter payload.
+  *out += ",\"args\":{";
+  bool first = true;
+  auto arg = [&](const char* key, double v) {
+    if (!first) *out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.9g", key, v);
+    *out += buf;
+  };
+  if (e.phase == 'C') {
+    arg("value", e.value);
+  }
+  if (e.vt0 != kNoVt) arg("vt0", e.vt0);
+  if (e.vt1 != kNoVt) arg("vt1", e.vt1);
+  if (e.flow != 0 && e.phase == 'X') {
+    arg("flow", static_cast<double>(e.flow));
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::start(std::size_t per_thread_capacity) {
+  State& s = state();
+  if (s.enabled.load(std::memory_order_relaxed)) return;
+  {
+    MutexLock lock(s.mu);
+    s.buffers.clear();
+    s.capacity = per_thread_capacity;
+    s.base_ns = wall_now_ns();
+  }
+  s.sink.clear();
+  s.collected.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(s.cv_mu);
+    s.flusher_stop = false;
+  }
+  // Publish the new epoch before enabling so producers re-register into
+  // fresh buffers, never into freed ones.
+  s.epoch.fetch_add(1, std::memory_order_release);
+  s.flusher = std::thread(flusher_main);
+  s.enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() {
+  State& s = state();
+  s.enabled.store(false, std::memory_order_release);
+  if (s.flusher.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(s.cv_mu);
+      s.flusher_stop = true;
+    }
+    s.cv.notify_all();
+    s.flusher.join();
+  }
+  drain_all_locked_snapshot(snapshot_buffers());
+}
+
+bool Tracer::stop_and_write(const std::string& path, std::string* error) {
+  State& s = state();
+  stop();
+  std::uint64_t base_ns = 0;
+  std::uint64_t dropped_total = 0;
+  std::string body;
+  {
+    MutexLock lock(s.mu);
+    base_ns = s.base_ns;
+    // Thread-name metadata tracks.
+    for (auto& b : s.buffers) {
+      dropped_total += b->dropped.load(std::memory_order_relaxed);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                    "\"tid\":%d,\"args\":{\"name\":\"",
+                    b->tid);
+      body += buf;
+      json_escape(&body, b->name.empty() ? "thread" : b->name.c_str());
+      body += "\"}}";
+      body += ",\n";
+    }
+  }
+  // Stable timeline order helps diffing and downstream tooling.
+  std::stable_sort(s.sink.begin(), s.sink.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  for (const TraceEvent& e : s.sink) {
+    append_event_json(&body, e, e.tid, base_ns);
+    body += ",\n";
+  }
+  if (!body.empty()) body.resize(body.size() - 2);  // trailing ",\n"
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  char hdr[128];
+  std::snprintf(hdr, sizeof(hdr),
+                "\"dropped\":%llu,\"collected\":%llu},\n\"traceEvents\":[\n",
+                static_cast<unsigned long long>(dropped_total),
+                static_cast<unsigned long long>(s.sink.size()));
+  out += hdr;
+  out += body;
+  out += "\n]}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open trace output: " + path;
+    return false;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+void Tracer::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = this_thread_buffer();
+  if (buf == nullptr) return;
+  TraceEvent copy = event;
+  copy.tid = buf->tid;
+  if (!buf->ring.try_push(copy)) {
+    buf->dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  tls_slot.pending_name = name;
+  if (!enabled()) return;
+  ThreadBuffer* buf = this_thread_buffer();
+  if (buf == nullptr) return;
+  State& s = state();
+  MutexLock lock(s.mu);
+  buf->name = name;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  for (ThreadBuffer* b : snapshot_buffers()) {
+    total += b->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Tracer::collected() const {
+  return state().collected.load(std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* cat, const char* name, double vt,
+                     std::uint64_t flow)
+    : cat_(cat), name_(name), vt0_(vt), vt1_(kNoVt), flow_(flow) {
+  // A null name means "untraced" — callers use it to gate spans on data
+  // (e.g. GEMM size thresholds) without an #if around the declaration.
+  if (name_ == nullptr || !Tracer::enabled()) return;
+  active_ = true;
+  start_ns_ = wall_now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_ || !Tracer::enabled()) return;
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.phase = 'X';
+  e.ts_ns = start_ns_;
+  e.dur_ns = wall_now_ns() - start_ns_;
+  e.vt0 = vt0_;
+  e.vt1 = vt1_;
+  e.flow = flow_;
+  Tracer::record(e);
+}
+
+void trace_instant(const char* cat, const char* name, double vt,
+                   std::uint64_t flow) {
+  if (!Tracer::enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'i';
+  e.ts_ns = wall_now_ns();
+  e.vt0 = vt;
+  e.flow = flow;
+  Tracer::record(e);
+}
+
+namespace {
+void trace_flow(char phase, const char* name, std::uint64_t id, double vt) {
+  if (!Tracer::enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = "flow";
+  e.phase = phase;
+  e.ts_ns = wall_now_ns();
+  e.vt0 = vt;
+  e.flow = id;
+  Tracer::record(e);
+}
+}  // namespace
+
+void trace_flow_begin(const char* name, std::uint64_t id, double vt) {
+  trace_flow('s', name, id, vt);
+}
+void trace_flow_step(const char* name, std::uint64_t id, double vt) {
+  trace_flow('t', name, id, vt);
+}
+void trace_flow_end(const char* name, std::uint64_t id, double vt) {
+  trace_flow('f', name, id, vt);
+}
+
+void trace_counter(const char* name, double value) {
+  if (!Tracer::enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = "metric";
+  e.phase = 'C';
+  e.ts_ns = wall_now_ns();
+  e.value = value;
+  Tracer::record(e);
+}
+
+}  // namespace hetsgd::obs
+
+#else  // HETSGD_TRACE_DISABLED
+
+namespace hetsgd::obs {
+bool Tracer::stop_and_write(const std::string& path, std::string* error) {
+  // Still emit a valid (empty) trace so tooling does not special-case
+  // HETSGD_TRACE=OFF builds.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open trace output: " + path;
+    return false;
+  }
+  const char* empty = "{\"traceEvents\":[]}\n";
+  std::fwrite(empty, 1, std::char_traits<char>::length(empty), f);
+  std::fclose(f);
+  return true;
+}
+}  // namespace hetsgd::obs
+
+#endif  // HETSGD_TRACE_DISABLED

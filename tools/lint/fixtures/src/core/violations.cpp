@@ -6,8 +6,15 @@
 #include <chrono>
 #include <fstream>
 #include <thread>
+#include "common/timer.hpp"  // EXPECT: adhoc-timer
 
 namespace fixture {
+
+// hetsgd-lint: allow(adhoc-timer) fixture: local stand-in for the retired
+// class so the use sites below have something to name
+struct WallTimer {
+  double seconds() const { return 0.0; }
+};
 
 struct Queue {
   bool push(int) { return true; }
@@ -25,6 +32,8 @@ void planted_violations(Queue& q, Queue* qp) {
   std::printf("hello\n");  // EXPECT: stdout-logging
   std::ofstream raw("ckpt.bin");  // EXPECT: ckpt-ofstream
   (void)raw;
+  WallTimer timer;  // EXPECT: adhoc-timer
+  (void)timer.seconds();
 }
 
 void checked_and_waived(Queue& q) {
@@ -38,8 +47,11 @@ void checked_and_waived(Queue& q) {
   std::this_thread::sleep_for(std::chrono::milliseconds(1));
   // A comment that merely *mentions* steady_clock::now or new Thing or
   // printf( must not be flagged; nor must "printf(" in a string literal:
-  const char* s = "printf(%d) sleep_for new delete std::ofstream";
+  const char* s = "printf(%d) sleep_for new delete std::ofstream WallTimer";
   (void)s;
+  // hetsgd-lint: allow(adhoc-timer) fixture: sanctioned timing shim
+  WallTimer waived_timer;
+  (void)waived_timer.seconds();
   // hetsgd-lint: allow(ckpt-ofstream) fixture: sanctioned write shim
   std::ofstream waived("shim.bin");
   (void)waived;

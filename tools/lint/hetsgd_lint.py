@@ -30,6 +30,15 @@ Rules (each a short, greppable id):
                     never leave a torn file; src/common/atomic_file.cpp is
                     the one sanctioned raw-write site.
 
+  adhoc-timer       Ad-hoc timing in src/core/ or src/gpusim/: the retired
+                    `WallTimer` class, an include of common/timer.hpp, or
+                    (in gpusim, which the wall-clock rule does not cover) a
+                    raw clock read. Instrumentation goes through src/obs/
+                    — HETSGD_TRACE_* spans, obs::WallStopwatch, or the
+                    metrics registry — so every measurement lands in the
+                    exported trace/metrics streams instead of a private
+                    timer.
+
   tsan-supp-stale   A `race:<symbol>` entry in scripts/tsan.supp whose
                     symbol no longer exists in src/, or whose defining file
                     lacks a `hetsgd-racy` marker. Keeps the suppression
@@ -82,6 +91,10 @@ NAKED_NEW_RE = re.compile(r"(?:^|[^\w.])new\s+[A-Za-z_(]|(?:^|[^\w.])delete\s+[\
 STDOUT_RE = re.compile(r"std::cout\b|(?:^|[^\w:.])(?:std::)?printf\s*\(")
 
 CKPT_OFSTREAM_RE = re.compile(r"\bstd::ofstream\b|(?:^|[^\w:.])ofstream\b")
+
+ADHOC_TIMER_RE = re.compile(r"\bWallTimer\b")
+
+TIMER_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]common/timer\.hpp[>"]')
 
 SUPP_RE = re.compile(r"^\s*race:(\S+)")
 
@@ -163,6 +176,15 @@ def in_core(root: str, path: str) -> bool:
     return rel.startswith(os.path.join("src", "core") + os.sep)
 
 
+def in_timer_scope(root: str, path: str) -> bool:
+    """Where the obs layer is mandatory for timing: core scheduling and the
+    gpusim device model. src/obs/ itself (outside this scope) is the
+    sanctioned raw-clock site."""
+    rel = os.path.relpath(path, root)
+    return (rel.startswith(os.path.join("src", "core") + os.sep)
+            or rel.startswith(os.path.join("src", "gpusim") + os.sep))
+
+
 def in_ckpt_scope(root: str, path: str) -> bool:
     """Where durable state is written: raw ofstreams are banned in favor of
     atomic_write_file. src/common/atomic_file.cpp (outside this scope) is
@@ -206,6 +228,17 @@ def lint_file(root: str, path: str, findings: list[Finding]) -> None:
             report("wall-clock",
                    "wall-clock construct in src/core/ — scheduling is "
                    "virtual-time only; real time needs a waiver naming why")
+        if in_timer_scope(root, path):
+            if ADHOC_TIMER_RE.search(code) or TIMER_INCLUDE_RE.search(raw):
+                report("adhoc-timer",
+                       "ad-hoc timer in core/gpusim — instrument with the "
+                       "obs layer (HETSGD_TRACE_* spans, obs::WallStopwatch, "
+                       "metrics registry) so the measurement is exported")
+            elif not core and WALL_CLOCK_RE.search(code):
+                report("adhoc-timer",
+                       "raw clock read in src/gpusim/ — the device model is "
+                       "virtual-time only; wall-time instrumentation goes "
+                       "through the obs layer")
         if in_ckpt_scope(root, path) and CKPT_OFSTREAM_RE.search(code):
             report("ckpt-ofstream",
                    "raw std::ofstream in checkpoint scope — durable state "
