@@ -55,6 +55,10 @@ bool MetricsExporter::start(std::string* error) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
+      if (jsonl_ != nullptr) {
+        std::fclose(jsonl_);
+        jsonl_ = nullptr;
+      }
       return false;
     }
     int one = 1;
@@ -132,8 +136,14 @@ void MetricsExporter::exporter_main() {
   for (;;) {
     {
       MutexLock lock(cv_mu_);
-      // Spurious wakeups just produce an extra snapshot -- harmless.
-      cv_.wait_for(cv_mu_, interval);
+      // Check the flag before (and after) waiting: a stop() that fires
+      // while write_snapshot runs must not cost a full extra interval.
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!stop_requested_) {
+        if (cv_.wait_until(cv_mu_, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
       if (stop_requested_) return;
     }
     write_snapshot();

@@ -35,6 +35,17 @@ std::string bare_name(const std::string& name) {
   return brace == std::string::npos ? name : name.substr(0, brace);
 }
 
+// Inner text of an embedded {label} block ("" when the name has none),
+// so histogram series can splice their _bucket/_sum/_count suffix before
+// the labels instead of dropping them.
+std::string label_text(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return "";
+  const std::size_t close = name.rfind('}');
+  if (close == std::string::npos || close <= brace) return "";
+  return name.substr(brace + 1, close - brace - 1);
+}
+
 }  // namespace
 
 int Counter::shard_index() {
@@ -170,25 +181,31 @@ std::string MetricsRegistry::prometheus_text(const MetricsSnapshot& snap) {
         out += '\n';
         break;
       case 'h': {
+        // Labels from the registered name survive on every series; le is
+        // merged into the existing label block on _bucket lines.
+        const std::string labels = label_text(s.name);
+        const std::string plain = labels.empty() ? "" : "{" + labels + "}";
+        const std::string bucket_open =
+            "_bucket{" + (labels.empty() ? "" : labels + ",");
         out += "# TYPE " + base + " histogram\n";
         std::uint64_t cumulative = 0;
         for (int i = 0; i < Histogram::kBuckets; ++i) {
           if (s.hist.counts[i] == 0) continue;
           cumulative += s.hist.counts[i];
-          std::snprintf(buf, sizeof(buf), "_bucket{le=\"%.9g\"} %llu\n",
+          std::snprintf(buf, sizeof(buf), "le=\"%.9g\"} %llu\n",
                         Histogram::bucket_upper(i),
                         static_cast<unsigned long long>(cumulative));
-          out += base + buf;
+          out += base + bucket_open + buf;
         }
-        std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %llu\n",
+        std::snprintf(buf, sizeof(buf), "le=\"+Inf\"} %llu\n",
                       static_cast<unsigned long long>(s.hist.count));
-        out += base + buf;
-        out += base + "_sum ";
+        out += base + bucket_open + buf;
+        out += base + "_sum" + plain + ' ';
         append_double(&out, s.hist.sum);
         out += '\n';
-        std::snprintf(buf, sizeof(buf), "_count %llu\n",
+        std::snprintf(buf, sizeof(buf), " %llu\n",
                       static_cast<unsigned long long>(s.hist.count));
-        out += base + buf;
+        out += base + "_count" + plain + buf;
         break;
       }
       default:

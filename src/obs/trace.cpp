@@ -37,6 +37,13 @@ struct State {
 
   AnnotatedMutex mu;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers HETSGD_GUARDED_BY(mu);
+  // Buffers from earlier sessions. They are retired here instead of freed
+  // because a producer that loaded enabled==true before stop() may still
+  // be inside record() with a pointer to its old ring; pushing into a
+  // retired (but live) ring is a harmless lost event, pushing into a
+  // freed one is a use-after-free. Bounded by restarts x threads, and
+  // restarts are rare (tests, multiple Trainer::run in one process).
+  std::vector<std::unique_ptr<ThreadBuffer>> graveyard HETSGD_GUARDED_BY(mu);
   std::size_t capacity HETSGD_GUARDED_BY(mu) = std::size_t{1} << 15;
   std::uint64_t base_ns HETSGD_GUARDED_BY(mu) = 0;
 
@@ -189,7 +196,11 @@ Tracer& Tracer::instance() {
 }
 
 bool Tracer::enabled() {
-  return state().enabled.load(std::memory_order_relaxed);
+  // Acquire pairs with the release store in start(): a producer that
+  // observes enabled==true must also observe the epoch bump, or it could
+  // keep using a stale tls_slot from the previous session on
+  // weakly-ordered CPUs. (On x86 the acquire is free.)
+  return state().enabled.load(std::memory_order_acquire);
 }
 
 void Tracer::start(std::size_t per_thread_capacity) {
@@ -197,6 +208,9 @@ void Tracer::start(std::size_t per_thread_capacity) {
   if (s.enabled.load(std::memory_order_relaxed)) return;
   {
     MutexLock lock(s.mu);
+    // Retire, never free: stale producers may still hold pointers into
+    // the old rings (see State::graveyard).
+    for (auto& b : s.buffers) s.graveyard.push_back(std::move(b));
     s.buffers.clear();
     s.capacity = per_thread_capacity;
     s.base_ns = wall_now_ns();
@@ -240,7 +254,9 @@ bool Tracer::stop_and_write(const std::string& path, std::string* error) {
     // Thread-name metadata tracks.
     for (auto& b : s.buffers) {
       dropped_total += b->dropped.load(std::memory_order_relaxed);
-      char buf[64];
+      // The fixed prefix alone is 62 chars; leave generous room for the
+      // tid digits so multi-digit track ids never truncate the JSON.
+      char buf[128];
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
                     "\"tid\":%d,\"args\":{\"name\":\"",

@@ -134,6 +134,23 @@ TEST(MetricsRegistryTest, PrometheusTextFormat) {
   EXPECT_NE(text.find("obs_test_prom_hist_count 1"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, PrometheusHistogramKeepsLabels) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.histogram("obs_test_prom_lhist{worker=\"3\"}").observe(2.0);
+  const std::string text =
+      obs::MetricsRegistry::prometheus_text(reg.snapshot());
+  // The label block survives on every series, with le merged in on
+  // _bucket lines — it must not collapse into an unlabeled series.
+  EXPECT_NE(text.find("obs_test_prom_lhist_bucket{worker=\"3\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_lhist_sum{worker=\"3\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_lhist_count{worker=\"3\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(text.find("obs_test_prom_lhist_bucket{le="), std::string::npos);
+  EXPECT_EQ(text.find("obs_test_prom_lhist_sum "), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, JsonlLineIsOneLine) {
   auto& reg = obs::MetricsRegistry::instance();
   reg.counter("obs_test_jsonl_counter").inc();
@@ -192,6 +209,59 @@ TEST(TracerTest, MultiThreadSpansExportValidTrace) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TracerTest, ManyThreadsKeepMetadataWellFormed) {
+  // Regression: with 10+ registered threads the thread_name metadata
+  // line needs more than 64 chars (two tid digits), and truncation used
+  // to eat the opening quote of the name value.
+  auto& tracer = obs::Tracer::instance();
+  tracer.start(1 << 10);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 12; ++t) {
+    threads.emplace_back([t] {
+      obs::Tracer::set_thread_name("obs-many-" + std::to_string(t));
+      HETSGD_TRACE_SCOPE("test", "many_span");
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::string path = temp_path("obs_test_trace_many.json");
+  std::string error;
+  ASSERT_TRUE(tracer.stop_and_write(path, &error)) << error;
+  const std::string json = read_file(path);
+  // Every metadata record, including two-digit tids, carries a properly
+  // quoted name value.
+  for (int tid = 1; tid <= 12; ++tid) {
+    const std::string meta = "\"tid\":" + std::to_string(tid) +
+                             ",\"args\":{\"name\":\"obs-many-";
+    EXPECT_NE(json.find(meta), std::string::npos) << "tid " << tid;
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TracerTest, RestartWhileProducersRecordIsSafe) {
+  // Stress witness (ASan/TSan CI legs) for the stop->start contract:
+  // producers racing record() against restart cycles must never touch a
+  // freed ring — old buffers are retired to a graveyard, not freed.
+  auto& tracer = obs::Tracer::instance();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        HETSGD_TRACE_SCOPE("test", "churn");
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    tracer.start(1 << 8);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    tracer.stop();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
 }
 
 TEST(TracerTest, RestartAfterStopCollectsAgain) {
