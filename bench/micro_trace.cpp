@@ -61,8 +61,8 @@ constexpr bool kTraceCompiled = true;
 constexpr Index kDim = 96;
 
 // One iteration of the instrumented workload: the trace-op density copies
-// what core/gpu_worker emits per batch (execute span + three transfer/
-// kernel sub-spans + merge, flow begin/step/end, counter increments).
+// what the core replica worker emits per batch (execute span + three
+// transfer/kernel sub-spans + merge, flow begin/step/end, counters).
 void run_batch(const Matrix& a, const Matrix& b, Matrix& c,
                obs::Counter& batches, obs::Histogram& latency,
                std::uint64_t sequence) {

@@ -3,18 +3,18 @@
 //
 // delicious is the paper's multi-label dataset (983 tags). This example
 // exercises the sigmoid+BCE path of the library — each example can carry
-// several tags — and the simulated GPU's DeviceMlp for the softmax
+// several tags — and the simulated GPU backend for the softmax
 // single-label formulation side by side, reproducing in miniature the
 // observation of §VII-B that the many-label output layer is where
 // TensorFlow's overhead lives.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "backend/mlp_executor.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "data/synthetic.hpp"
-#include "gpusim/device.hpp"
-#include "nn/device_mlp.hpp"
 #include "nn/mlp.hpp"
 #include "tensor/ops.hpp"
 
@@ -108,10 +108,10 @@ int main(int argc, char** argv) {
   // The same architecture through the simulated GPU: the 983-wide output
   // layer dominates the per-batch kernel cost — the seed of TensorFlow's
   // delicious slowdown in Fig. 5c.
-  gpusim::Device device(gpusim::v100_spec());
+  auto device = backend::make_backend("sim", backend::v100_spec());
   nn::MlpConfig wide = mlp;
   wide.num_classes = 983;
-  nn::DeviceMlp device_mlp(device, wide, batch);
+  backend::MlpExecutor device_mlp(*device, wide, batch);
   nn::Model wide_model(wide, rng);
   std::vector<std::int32_t> wide_labels(static_cast<std::size_t>(batch), 0);
   double t0 = device_mlp.upload_model(wide_model, 0.0);

@@ -31,6 +31,21 @@ cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 echo "gate 1: PASS"
 
+# --- 1b. per-backend execution legs ----------------------------------------
+# The suites that exercise device-worker execution (backend equivalence,
+# unified worker protocol, full training runs) honor HETSGD_BACKEND and
+# re-run once per registered backend, so both engines stay behind the one
+# seam contract. "sim" is the default leg gate 1 already ran; it repeats
+# here so a changed default can't silently shrink coverage.
+note "gate 1b: per-backend ctest (backend/worker/trainer suites)"
+BACKEND_SUITES='^(AllBackends/BackendSuite|BackendEquivalence|CpuWorkerProtocol|GpuWorkerProtocol|WorkerState|Trainer\.|AllAlgorithms/AlgorithmRun)'
+for backend in cpu sim; do
+  echo "--- backend: $backend ---"
+  HETSGD_BACKEND=$backend ctest --test-dir build --output-on-failure \
+    -j"$JOBS" -R "$BACKEND_SUITES"
+done
+echo "gate 1b: PASS"
+
 # --- 2. clang thread-safety analysis ---------------------------------------
 # This is the leg that *proves* the GUARDED_BY/REQUIRES annotations:
 # removing a MutexLock around any guarded field fails this build.
@@ -69,6 +84,15 @@ note "gate 4b: tracing overhead (micro_trace)"
 cmake --build build --target micro_trace -j"$JOBS"
 build/bench/micro_trace
 echo "gate 4b: PASS"
+
+# --- 4c. backend dispatch overhead ------------------------------------------
+# micro_backend gates the seam tax of backend::Backend virtual dispatch
+# against the direct kernel path (<2%, DESIGN.md §13); bench_smoke.sh
+# re-runs it in the native build and records BENCH_backend.json.
+note "gate 4c: backend dispatch overhead (micro_backend)"
+cmake --build build --target micro_backend -j"$JOBS"
+build/bench/micro_backend
+echo "gate 4c: PASS"
 
 if [[ "$FAST" == "1" ]]; then
   note "--fast: skipping sanitizer gates (5-6)"

@@ -1,0 +1,26 @@
+// Device-model vocabulary re-exported through the backend seam.
+//
+// Code outside src/backend/ and src/gpusim/ that needs the modeled-hardware
+// vocabulary — device kinds, specs, analytic perf models, virtual clocks —
+// includes this header instead of gpusim directly. The gpusim-include lint
+// rule (tools/lint/hetsgd_lint.py) keeps the simulator's execution
+// machinery (Device / Stream / DeviceMemory) private to the backend layer;
+// the *modeling* types below stay shared vocabulary for cost estimation
+// and scheduling, which is exactly the split a real multi-device port
+// needs: schedulers reason about specs, only backends touch devices.
+#pragma once
+
+#include "gpusim/perf_model.hpp"
+#include "gpusim/virtual_clock.hpp"
+
+namespace hetsgd::backend {
+
+using gpusim::DeviceKind;
+using gpusim::DeviceSpec;
+using gpusim::PerfModel;
+using gpusim::VirtualClock;
+using gpusim::v100_spec;
+using gpusim::xeon56_spec;
+using gpusim::xeon_spec;
+
+}  // namespace hetsgd::backend

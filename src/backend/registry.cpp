@@ -1,0 +1,38 @@
+// Backend registry: name -> constructor, consulted by the --backend flag.
+//
+// Deliberately a static table, not a plug-in mechanism: backends are
+// compiled in, and the cross-backend equivalence suite iterates
+// registered_backends() so a new entry is automatically under test.
+
+#include <algorithm>
+
+#include "backend/backend.hpp"
+#include "backend/cpu_backend.hpp"
+#include "backend/sim_backend.hpp"
+
+namespace hetsgd::backend {
+
+const std::vector<std::string>& registered_backends() {
+  static const std::vector<std::string> kNames = {"cpu", "sim"};
+  return kNames;
+}
+
+bool backend_registered(const std::string& name) {
+  const auto& names = registered_backends();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::unique_ptr<Backend> make_backend(const std::string& name,
+                                      const DeviceSpec& spec) {
+  if (name == "cpu") {
+    // Registry-built CPU backends act as a discrete (replica) device: the
+    // zero-copy Hogwild mode is constructed directly by the CPU worker.
+    return std::make_unique<CpuBackend>(spec, CpuBackend::Mode::kDevice);
+  }
+  if (name == "sim") {
+    return std::make_unique<SimBackend>(spec);
+  }
+  return nullptr;
+}
+
+}  // namespace hetsgd::backend

@@ -1,0 +1,157 @@
+#include "backend/sim_backend.hpp"
+
+#include "common/macros.hpp"
+#include "nn/loss.hpp"
+
+namespace hetsgd::backend {
+
+using tensor::Index;
+using tensor::Scalar;
+
+SimBackend::SimBackend(const DeviceSpec& spec)
+    : device_(spec), stream_(device_.create_stream()) {}
+
+SimBackend::Slot& SimBackend::slot(const Buffer& b) {
+  HETSGD_ASSERT(b.valid() && b.id <= slots_.size(), "invalid buffer handle");
+  Slot& s = slots_[b.id - 1];
+  HETSGD_ASSERT(s.live, "buffer used after free");
+  return s;
+}
+
+tensor::MatrixView SimBackend::rows(const Buffer& b, Index batch) {
+  return tensor::MatrixView(slot(b).mat.device_view().data(), batch, b.cols);
+}
+
+Buffer SimBackend::alloc(Index rows_, Index cols_) {
+  Slot s;
+  s.mat = device_.alloc(rows_, cols_);  // aborts on device OOM (cudaMalloc)
+  s.live = true;
+  slots_.push_back(std::move(s));
+  return Buffer{slots_.size(), rows_, cols_};
+}
+
+Buffer SimBackend::adopt(tensor::MatrixView host) {
+  (void)host;
+  HETSGD_ASSERT(false, "sim backend has private device memory; adopt() is "
+                       "zero-copy-only");
+  return Buffer{};
+}
+
+void SimBackend::free(Buffer& b) {
+  if (!b.valid()) return;
+  Slot& s = slot(b);
+  s.mat = gpusim::DeviceMatrix();  // releases the capacity reservation
+  s.live = false;
+  b = Buffer{};
+}
+
+tensor::MatrixView SimBackend::view(const Buffer& b) {
+  return slot(b).mat.device_view();
+}
+
+double SimBackend::upload(tensor::ConstMatrixView host, const Buffer& dst,
+                          double issue) {
+  return device_.copy_to_device(host, slot(dst).mat, stream_, issue);
+}
+
+double SimBackend::download(const Buffer& src, tensor::MatrixView host,
+                            double issue) {
+  return device_.copy_to_host(slot(src).mat, host, stream_, issue);
+}
+
+double SimBackend::stage_batch(tensor::ConstMatrixView x, Buffer& dst,
+                               std::uint64_t extra_bytes, double issue) {
+  HETSGD_ASSERT(x.rows() <= dst.rows && x.cols() == dst.cols,
+                "staged batch exceeds input buffer");
+  // Real copy + modeled PCIe time for exactly the batch rows (+ the labels
+  // riding along). Deliberately not routed through copy_to_device: input
+  // staging is not a fault-injection point — the model upload and gradient
+  // download bracketing each round trip are.
+  auto dv = rows(dst, x.rows());
+  Scalar* out = dv.data();
+  const Scalar* in = x.data();
+  for (Index r = 0; r < x.rows(); ++r) {
+    for (Index c = 0; c < x.cols(); ++c) {
+      out[r * x.cols() + c] = in[r * x.cols() + c];
+    }
+  }
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(x.size()) * sizeof(Scalar) + extra_bytes;
+  return stream_.enqueue(device_.perf().transfer_seconds(bytes), issue);
+}
+
+double SimBackend::gemm_bias_act(const Buffer& x, const Buffer& w,
+                                 const Buffer& bias, const Buffer& out,
+                                 Index batch, tensor::Epilogue epilogue,
+                                 double issue) {
+  auto xv = rows(x, batch);
+  auto wv = view(w);
+  auto ov = rows(out, batch);
+  tensor::gemm_bias_act(tensor::Trans::kNo, tensor::Trans::kYes, Scalar{1},
+                        xv, wv, ov, view(bias), epilogue);
+  return stream_.enqueue(
+      device_.perf().gemm_seconds(batch, w.rows, w.cols), issue);
+}
+
+double SimBackend::softmax_xent(const Buffer& logits,
+                                std::span<const std::int32_t> labels,
+                                const Buffer& dlogits, Index batch,
+                                Scalar* loss, double issue) {
+  auto lv = rows(logits, batch);
+  auto dv = rows(dlogits, batch);
+  const Scalar l = nn::softmax_cross_entropy(lv, labels, &dv);
+  if (loss != nullptr) *loss = l;
+  stream_.enqueue(device_.perf().elementwise_seconds(
+                      static_cast<std::uint64_t>(lv.size()) * 6),
+                  issue);
+  // One scalar (the loss) returns to the host.
+  return stream_.enqueue(device_.perf().transfer_seconds(sizeof(Scalar)),
+                         issue);
+}
+
+double SimBackend::matmul_tn(const Buffer& delta, const Buffer& prev,
+                             Index batch, const Buffer& grad_w, double issue) {
+  tensor::matmul_tn(rows(delta, batch), rows(prev, batch), view(grad_w));
+  return stream_.enqueue(
+      device_.perf().gemm_seconds(grad_w.rows, grad_w.cols, batch), issue);
+}
+
+double SimBackend::col_sums(const Buffer& m, Index batch, const Buffer& out,
+                            double issue) {
+  auto mv = rows(m, batch);
+  tensor::col_sums(mv, view(out));
+  return stream_.enqueue(device_.perf().elementwise_seconds(
+                             static_cast<std::uint64_t>(mv.size())),
+                         issue);
+}
+
+double SimBackend::matmul_nn(const Buffer& delta, const Buffer& w, Index batch,
+                             const Buffer& out, double issue) {
+  tensor::matmul_nn(rows(delta, batch), view(w), rows(out, batch));
+  return stream_.enqueue(
+      device_.perf().gemm_seconds(batch, w.cols, w.rows), issue);
+}
+
+double SimBackend::activation_backward(nn::Activation act,
+                                       const Buffer& activated,
+                                       const Buffer& delta, Index batch,
+                                       double issue) {
+  auto dv = rows(delta, batch);
+  nn::activation_backward(act, rows(activated, batch), dv);
+  return stream_.enqueue(device_.perf().elementwise_seconds(
+                             static_cast<std::uint64_t>(dv.size())),
+                         issue);
+}
+
+double SimBackend::axpy(Scalar alpha, const Buffer& x, const Buffer& y,
+                        double issue) {
+  // Routed through the Device so the kernel counter and metrics tick,
+  // matching the old apply_gradient_on_device path.
+  return device_.axpy(alpha, slot(x).mat, slot(y).mat, stream_, issue);
+}
+
+double SimBackend::synchronize(double issue) {
+  return device_.synchronize(stream_, issue);
+}
+
+}  // namespace hetsgd::backend

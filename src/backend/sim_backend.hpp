@@ -1,0 +1,103 @@
+// Simulated-GPU backend: gpusim::Device/Stream/DeviceMemory behind the seam.
+//
+// Owns a Device built from the given spec and a dedicated stream (the same
+// create_stream() the DeviceMlp path used), and exposes the Backend
+// vocabulary over them. Transfers route through Device::copy_to_device /
+// copy_to_host, so fault injection, transfer counters, global metrics and
+// the "gpusim" trace spans are exactly the pre-seam semantics. Kernels run
+// the tensor math on the device-resident storage and enqueue the DeviceMlp
+// cost formulas on the stream — charge-for-charge identical to the old
+// nn::DeviceMlp sequence, which keeps SimBackend training trajectories
+// (loss *and* virtual time) bit-compatible with the pre-refactor GPU path.
+//
+// Thread confinement per Backend's contract: single-owner, unsynchronized —
+// the same contract gpusim::Device has always had.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "gpusim/device.hpp"
+
+namespace hetsgd::backend {
+
+class SimBackend final : public Backend {
+ public:
+  explicit SimBackend(const DeviceSpec& spec);
+
+  const std::string& name() const override { return name_; }
+  const PerfModel& perf() const override { return device_.perf(); }
+  bool zero_copy() const override { return false; }
+
+  // The wrapped simulator, for diagnostics (kernel counts, allocator
+  // peaks) that only the simulated device tracks.
+  const gpusim::Device& device() const { return device_; }
+
+  Buffer alloc(tensor::Index rows, tensor::Index cols) override;
+  Buffer adopt(tensor::MatrixView host) override;
+  void free(Buffer& b) override;
+  tensor::MatrixView view(const Buffer& b) override;
+  std::uint64_t bytes_in_use() const override {
+    return device_.allocator().in_use();
+  }
+
+  double upload(tensor::ConstMatrixView host, const Buffer& dst,
+                double issue) override;
+  double download(const Buffer& src, tensor::MatrixView host,
+                  double issue) override;
+  double stage_batch(tensor::ConstMatrixView x, Buffer& dst,
+                     std::uint64_t extra_bytes, double issue) override;
+
+  double gemm_bias_act(const Buffer& x, const Buffer& w, const Buffer& bias,
+                       const Buffer& out, tensor::Index batch,
+                       tensor::Epilogue epilogue, double issue) override;
+  double softmax_xent(const Buffer& logits,
+                      std::span<const std::int32_t> labels,
+                      const Buffer& dlogits, tensor::Index batch,
+                      tensor::Scalar* loss, double issue) override;
+  double matmul_tn(const Buffer& delta, const Buffer& prev,
+                   tensor::Index batch, const Buffer& grad_w,
+                   double issue) override;
+  double col_sums(const Buffer& m, tensor::Index batch, const Buffer& out,
+                  double issue) override;
+  double matmul_nn(const Buffer& delta, const Buffer& w, tensor::Index batch,
+                   const Buffer& out, double issue) override;
+  double activation_backward(nn::Activation act, const Buffer& activated,
+                             const Buffer& delta, tensor::Index batch,
+                             double issue) override;
+  double axpy(tensor::Scalar alpha, const Buffer& x, const Buffer& y,
+              double issue) override;
+
+  double synchronize(double issue) override;
+
+  void inject_transfer_faults(std::int64_t count) override {
+    device_.inject_transfer_faults(count);
+  }
+  std::uint64_t failed_transfers() const override {
+    return device_.failed_transfer_count();
+  }
+  std::uint64_t transfer_count() const override {
+    return device_.transfer_count();
+  }
+  std::uint64_t bytes_transferred() const override {
+    return device_.bytes_transferred();
+  }
+
+ private:
+  struct Slot {
+    gpusim::DeviceMatrix mat;
+    bool live = false;
+  };
+
+  Slot& slot(const Buffer& b);
+  tensor::MatrixView rows(const Buffer& b, tensor::Index batch);
+
+  std::string name_ = "sim";
+  gpusim::Device device_;
+  gpusim::Stream& stream_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace hetsgd::backend

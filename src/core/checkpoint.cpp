@@ -126,6 +126,12 @@ std::uint64_t config_fingerprint(const TrainingConfig& config,
   h = mix(h, static_cast<std::uint64_t>(config.gpu.max_batch));
   h = mix_double(h, config.gpu.host_merge_bandwidth);
   h = mix(h, static_cast<std::uint64_t>(config.gpu.worker_count));
+  // Execution backend: trajectories are backend-independent by design, but
+  // resuming under a different engine than the one that cut the checkpoint
+  // should be an explicit choice, not a silent one.
+  for (const char c : config.backend) {
+    h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
   h = mix(h, static_cast<std::uint64_t>(dataset.example_count()));
   h = mix(h, static_cast<std::uint64_t>(dataset.dim()));
   h = mix(h, static_cast<std::uint64_t>(dataset.num_classes()));

@@ -624,6 +624,10 @@ void Coordinator::maybe_flip_epoch() {
     evaluate_loss(boundary);
     if (shutting_down_) return;  // divergence abort
   }
+  // Epoch barrier: drop the evaluation scratch back to zero so its
+  // high-water batch (the eval chunk) is not pinned across epochs; the
+  // next evaluate_loss() regrows it on demand.
+  eval_ws_.release();
   if (config_.charge_loss_eval_to_gpu) {
     // Forward pass over the dataset on the GPU: utilization spike of Fig 7.
     const double eval_cost =

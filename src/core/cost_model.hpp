@@ -8,7 +8,7 @@
 
 #include <cstdint>
 
-#include "gpusim/perf_model.hpp"
+#include "backend/device_model.hpp"
 #include "nn/model.hpp"
 
 namespace hetsgd::core {

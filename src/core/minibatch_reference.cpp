@@ -1,10 +1,11 @@
 #include "core/minibatch_reference.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "backend/mlp_executor.hpp"
 #include "common/macros.hpp"
-#include "gpusim/device.hpp"
-#include "nn/device_mlp.hpp"
+#include "core/worker.hpp"
 #include "nn/mlp.hpp"
 
 namespace hetsgd::core {
@@ -21,8 +22,8 @@ ReferenceResult run_minibatch_reference(data::Dataset& dataset,
 
   Rng rng(cfg.seed);
   nn::Model model(cfg.mlp, rng);
-  gpusim::Device device(cfg.gpu.spec);
-  nn::DeviceMlp mlp(device, cfg.mlp, cfg.gpu.batch);
+  std::unique_ptr<backend::Backend> dev = make_device_backend(cfg);
+  backend::MlpExecutor mlp(*dev, cfg.mlp, cfg.gpu.batch);
 
   // Loss-evaluation sample (fixed rows copied out before shuffling).
   const Index n = dataset.example_count();
@@ -92,8 +93,7 @@ ReferenceResult run_minibatch_reference(data::Dataset& dataset,
       auto y = dataset.batch_labels(cursor, batch);
       double done = clock;
       mlp.compute_gradient(x, y, clock, &done);
-      done = mlp.apply_gradient_on_device(static_cast<tensor::Scalar>(lr),
-                                          clock);
+      done = mlp.apply_gradient(static_cast<tensor::Scalar>(lr), clock);
       done += step_overhead;
       clock = done;
       cursor += batch;
@@ -124,7 +124,7 @@ ReferenceResult run_minibatch_reference(data::Dataset& dataset,
   // The device crunches back-to-back batches; utilization is the GEMM
   // efficiency at the configured batch size.
   result.mean_utilization =
-      device.perf().utilization(static_cast<double>(cfg.gpu.batch));
+      dev->perf().utilization(static_cast<double>(cfg.gpu.batch));
   return result;
 }
 

@@ -11,9 +11,8 @@
 #include "common/csv_writer.hpp"
 #include "common/logging.hpp"
 #include "common/macros.hpp"
-#include "core/cpu_worker.hpp"
 #include "core/elastic.hpp"
-#include "core/gpu_worker.hpp"
+#include "core/worker.hpp"
 #include "core/minibatch_reference.hpp"
 #include "nn/serialize.hpp"
 #include "obs/clock.hpp"
@@ -170,8 +169,8 @@ TrainingResult Trainer::run_framework() {
 
   Coordinator coordinator(working, model, config_, options_.eval_sample);
 
-  std::unique_ptr<CpuWorker> cpu_worker;
-  std::vector<std::unique_ptr<GpuWorker>> gpu_workers;
+  std::unique_ptr<Worker> cpu_worker;
+  std::vector<std::unique_ptr<Worker>> gpu_workers;
   msg::WorkerId next_id = 0;
 
   const auto cpu_limits = [this] {
@@ -200,9 +199,9 @@ TrainingResult Trainer::run_framework() {
   };
 
   if (algorithm_uses_cpu(config_.algorithm)) {
-    cpu_worker = std::make_unique<CpuWorker>(next_id, config_, working, model,
-                                             coordinator,
-                                             config_.real_threads);
+    cpu_worker = std::make_unique<Worker>(next_id, config_, working, model,
+                                          coordinator, ExecMode::kHogwild,
+                                          config_.real_threads);
     if (!fault_plan.empty()) cpu_worker->set_fault_plan(&fault_plan);
     coordinator.add_worker(*cpu_worker, gpusim::DeviceKind::kCpu,
                            cpu_limits());
@@ -211,8 +210,9 @@ TrainingResult Trainer::run_framework() {
   if (algorithm_uses_gpu(config_.algorithm)) {
     const int gpus = std::max(config_.gpu.worker_count, 1);
     for (int g = 0; g < gpus; ++g) {
-      gpu_workers.push_back(std::make_unique<GpuWorker>(
-          next_id, config_, working, model, coordinator, g));
+      gpu_workers.push_back(std::make_unique<Worker>(
+          next_id, config_, working, model, coordinator, ExecMode::kReplica,
+          /*real_threads=*/1, g));
       if (!fault_plan.empty()) {
         gpu_workers.back()->set_fault_plan(&fault_plan);
       }
@@ -320,8 +320,8 @@ TrainingResult Trainer::run_framework() {
   // join/retire events. Joined workers are owned here; the coordinator
   // winds them down (retire or final shutdown) and we join their threads
   // after the run.
-  std::vector<std::unique_ptr<CpuWorker>> joined_cpu;
-  std::vector<std::unique_ptr<GpuWorker>> joined_gpu;
+  std::vector<std::unique_ptr<Worker>> joined_cpu;
+  std::vector<std::unique_ptr<Worker>> joined_gpu;
   std::atomic<bool> elastic_stop{false};
   std::thread elastic_thread;
   if (!elastic.empty()) {
@@ -344,9 +344,9 @@ TrainingResult Trainer::run_framework() {
         } else if (ev.device == gpusim::DeviceKind::kCpu) {
           const auto id =
               static_cast<msg::WorkerId>(coordinator.worker_count());
-          auto w = std::make_unique<CpuWorker>(id, config_, working, model,
-                                               coordinator,
-                                               config_.real_threads);
+          auto w = std::make_unique<Worker>(id, config_, working, model,
+                                            coordinator, ExecMode::kHogwild,
+                                            config_.real_threads);
           if (!fault_plan.empty()) w->set_fault_plan(&fault_plan);
           if (coordinator.join_worker(*w, gpusim::DeviceKind::kCpu,
                                       cpu_limits()) >= 0) {
@@ -356,9 +356,10 @@ TrainingResult Trainer::run_framework() {
         } else {
           const auto id =
               static_cast<msg::WorkerId>(coordinator.worker_count());
-          auto w = std::make_unique<GpuWorker>(id, config_, working, model,
-                                               coordinator,
-                                               static_cast<int>(id));
+          auto w = std::make_unique<Worker>(id, config_, working, model,
+                                            coordinator, ExecMode::kReplica,
+                                            /*real_threads=*/1,
+                                            static_cast<int>(id));
           if (!fault_plan.empty()) w->set_fault_plan(&fault_plan);
           if (coordinator.join_worker(*w, gpusim::DeviceKind::kGpu,
                                       gpu_limits()) >= 0) {

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "gpusim/perf_model.hpp"
+#include "backend/device_model.hpp"
 #include "msg/message.hpp"
 
 namespace hetsgd::core {

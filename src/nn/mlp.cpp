@@ -1,5 +1,7 @@
 #include "nn/mlp.hpp"
 
+#include <algorithm>
+
 #include "common/macros.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
@@ -21,6 +23,43 @@ void Workspace::ensure(const Model& model, tensor::Index batch) {
     }
   }
   batch_ = batch;
+}
+
+void Workspace::clamp(tensor::Index max_batch) {
+  if (max_batch <= 0) {
+    release();
+    return;
+  }
+  for (std::size_t l = 0; l < acts_.size(); ++l) {
+    if (acts_[l].rows() > max_batch) {
+      acts_[l].resize(max_batch, acts_[l].cols());
+      deltas_[l].resize(max_batch, deltas_[l].cols());
+    }
+  }
+  if (batch_ > max_batch) batch_ = max_batch;
+}
+
+void Workspace::release() {
+  acts_.clear();
+  deltas_.clear();
+  batch_ = 0;
+}
+
+tensor::Index Workspace::capacity_rows() const {
+  Index rows = 0;
+  for (const auto& m : acts_) rows = std::max(rows, m.rows());
+  return rows;
+}
+
+std::uint64_t Workspace::scratch_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& m : acts_) {
+    bytes += static_cast<std::uint64_t>(m.size()) * sizeof(Scalar);
+  }
+  for (const auto& m : deltas_) {
+    bytes += static_cast<std::uint64_t>(m.size()) * sizeof(Scalar);
+  }
+  return bytes;
 }
 
 namespace {

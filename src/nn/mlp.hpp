@@ -18,11 +18,20 @@
 namespace hetsgd::nn {
 
 // Per-worker scratch space for forward/backward passes. Reused across
-// batches; grows monotonically to the largest batch seen.
+// batches; grows to the largest batch seen. The growth is one-way until
+// the owner calls clamp() or release() — done at epoch barriers and on
+// elastic worker retirement, so a transient large batch can't pin its
+// high-water scratch for the rest of a run.
 class Workspace {
  public:
   // (Re)sizes buffers for a model and batch size.
   void ensure(const Model& model, tensor::Index batch);
+
+  // Shrinks any buffer taller than `max_batch` rows down to it (0 frees
+  // everything). The next ensure() regrows as needed.
+  void clamp(tensor::Index max_batch);
+  // Frees all scratch; equivalent to clamp(0).
+  void release();
 
   // acts[l]: output of layer l (batch x out_l); acts.back() holds logits.
   std::vector<tensor::Matrix>& acts() { return acts_; }
@@ -32,6 +41,11 @@ class Workspace {
   tensor::Matrix& logits() { return acts_.back(); }
 
   tensor::Index batch() const { return batch_; }
+
+  // Allocated rows of the tallest buffer (the high-water batch).
+  tensor::Index capacity_rows() const;
+  // Total bytes of scratch currently allocated.
+  std::uint64_t scratch_bytes() const;
 
  private:
   std::vector<tensor::Matrix> acts_;

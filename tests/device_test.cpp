@@ -1,9 +1,9 @@
-#include "gpusim/device.hpp"
+#include "gpusim/device.hpp"  // hetsgd-lint: allow(gpusim-include) gpusim subsystem unit test
 
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
-#include "gpusim/device_memory.hpp"
+#include "gpusim/device_memory.hpp"  // hetsgd-lint: allow(gpusim-include) gpusim subsystem unit test
 #include "tensor/ops.hpp"
 
 namespace hetsgd::gpusim {

@@ -44,6 +44,46 @@ Problem make_problem(const MlpConfig& c, Index batch, std::uint64_t seed) {
   return p;
 }
 
+TEST(WorkspaceScratch, GrowsMonotonicallyUntilClampedOrReleased) {
+  MlpConfig c = tiny_config();
+  Problem big = make_problem(c, 64, 1);
+  Problem small = make_problem(c, 8, 2);
+  Workspace ws;
+
+  forward(big.model, big.x.view(), ws);
+  const std::uint64_t high_water = ws.scratch_bytes();
+  EXPECT_EQ(ws.capacity_rows(), 64);
+  EXPECT_GT(high_water, 0u);
+
+  // A smaller batch reuses the tall buffers: no shrink on its own.
+  forward(small.model, small.x.view(), ws);
+  EXPECT_EQ(ws.capacity_rows(), 64);
+  EXPECT_EQ(ws.scratch_bytes(), high_water);
+
+  // clamp() cuts the tall buffers down; shorter ones are left alone.
+  ws.clamp(16);
+  EXPECT_EQ(ws.capacity_rows(), 16);
+  EXPECT_LT(ws.scratch_bytes(), high_water);
+  ws.clamp(32);  // clamping above the current height is a no-op
+  EXPECT_EQ(ws.capacity_rows(), 16);
+
+  // release() frees everything; the workspace stays usable and the math
+  // after a regrow matches a fresh workspace exactly.
+  ws.release();
+  EXPECT_EQ(ws.capacity_rows(), 0);
+  EXPECT_EQ(ws.scratch_bytes(), 0u);
+
+  Workspace fresh;
+  Gradient grad_reused = make_zero_gradient(big.model);
+  Gradient grad_fresh = make_zero_gradient(big.model);
+  const Scalar loss_reused = compute_gradient(
+      big.model, big.x.view(), big.y, ws, grad_reused);
+  const Scalar loss_fresh = compute_gradient(
+      big.model, big.x.view(), big.y, fresh, grad_fresh);
+  EXPECT_EQ(loss_reused, loss_fresh);
+  EXPECT_EQ(grad_reused.max_abs_diff(grad_fresh), 0.0);
+}
+
 TEST(Forward, OutputShape) {
   MlpConfig c = tiny_config();
   Problem p = make_problem(c, 7, 1);

@@ -1,9 +1,9 @@
-#include "gpusim/perf_model.hpp"
+#include "gpusim/perf_model.hpp"  // hetsgd-lint: allow(gpusim-include) gpusim subsystem unit test
 
 #include <gtest/gtest.h>
 
-#include "gpusim/virtual_clock.hpp"
-#include "gpusim/stream.hpp"
+#include "gpusim/virtual_clock.hpp"  // hetsgd-lint: allow(gpusim-include) gpusim subsystem unit test
+#include "gpusim/stream.hpp"  // hetsgd-lint: allow(gpusim-include) gpusim subsystem unit test
 
 namespace hetsgd::gpusim {
 namespace {

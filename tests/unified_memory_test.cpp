@@ -1,4 +1,4 @@
-#include "gpusim/unified_memory.hpp"
+#include "gpusim/unified_memory.hpp"  // hetsgd-lint: allow(gpusim-include) gpusim subsystem unit test
 
 #include <gtest/gtest.h>
 

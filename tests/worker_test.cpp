@@ -1,14 +1,15 @@
-// Unit tests for CpuWorker / GpuWorker message protocol against a stub
-// coordinator.
+// Unit tests for the unified Worker message protocol (both execution
+// modes) against a stub coordinator.
+#include "core/worker.hpp"
+
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "core/cpu_worker.hpp"
-#include "core/gpu_worker.hpp"
 #include "data/synthetic.hpp"
 #include "nn/mlp.hpp"
 
@@ -81,6 +82,12 @@ struct Rig {
     c.cpu.sim_lanes = 4;
     c.gpu.max_batch = 128;
     c.gpu.batch = 128;
+    // CI runs this suite once per registered backend: the leg exports
+    // HETSGD_BACKEND and every assertion below must hold unchanged, since
+    // trajectories (and so virtual time) are backend-independent.
+    if (const char* env = std::getenv("HETSGD_BACKEND")) {
+      c.backend = env;
+    }
     return c;
   }
 
@@ -102,7 +109,8 @@ struct Rig {
 TEST(CpuWorkerProtocol, ExecuteProducesReportAndUpdatesModel) {
   Rig rig;
   nn::Model before = rig.model;
-  CpuWorker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator, 2);
+  Worker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                ExecMode::kHogwild, 2);
   rig.coordinator.start();
   worker.start();
 
@@ -119,13 +127,16 @@ TEST(CpuWorkerProtocol, ExecuteProducesReportAndUpdatesModel) {
 
   worker.send({msg::kCoordinator, msg::Shutdown{}});
   worker.join();
-  EXPECT_TRUE(rig.coordinator.acked());
+  // The stub's loop exits when it processes the ShutdownAck; joining it
+  // orders the acked() read after that handling.
   rig.coordinator.join();
+  EXPECT_TRUE(rig.coordinator.acked());
 }
 
 TEST(CpuWorkerProtocol, UpdatesAccumulateAcrossBatches) {
   Rig rig;
-  CpuWorker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator, 2);
+  Worker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                ExecMode::kHogwild, 2);
   rig.coordinator.start();
   worker.start();
   worker.send({msg::kCoordinator, rig.work(0, 8)});
@@ -142,7 +153,8 @@ TEST(CpuWorkerProtocol, UpdatesAccumulateAcrossBatches) {
 TEST(CpuWorkerProtocol, BetaScalesReportedUpdates) {
   Rig rig;
   rig.config.beta = 0.5;
-  CpuWorker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator, 2);
+  Worker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                ExecMode::kHogwild, 2);
   rig.coordinator.start();
   worker.start();
   worker.send({msg::kCoordinator, rig.work(0, 8)});
@@ -155,7 +167,8 @@ TEST(CpuWorkerProtocol, BetaScalesReportedUpdates) {
 
 TEST(CpuWorkerProtocol, NotBeforeAdvancesClock) {
   Rig rig;
-  CpuWorker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator, 2);
+  Worker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                ExecMode::kHogwild, 2);
   rig.coordinator.start();
   worker.start();
   msg::ExecuteWork w = rig.work(0, 8);
@@ -171,7 +184,8 @@ TEST(CpuWorkerProtocol, NotBeforeAdvancesClock) {
 TEST(GpuWorkerProtocol, ExecuteProducesReportAndMergesGradient) {
   Rig rig;
   nn::Model before = rig.model;
-  GpuWorker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator);
+  Worker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                ExecMode::kReplica);
   rig.coordinator.start();
   worker.start();
 
@@ -186,13 +200,16 @@ TEST(GpuWorkerProtocol, ExecuteProducesReportAndMergesGradient) {
 
   worker.send({msg::kCoordinator, msg::Shutdown{}});
   worker.join();
-  EXPECT_TRUE(rig.coordinator.acked());
+  // As above: join the stub before reading acked() so the ack has been
+  // dequeued, not merely sent.
   rig.coordinator.join();
+  EXPECT_TRUE(rig.coordinator.acked());
 }
 
 TEST(GpuWorkerProtocol, StalenessZeroWithoutConcurrentWriters) {
   Rig rig;
-  GpuWorker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator);
+  Worker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                ExecMode::kReplica);
   rig.coordinator.start();
   worker.start();
   worker.send({msg::kCoordinator, rig.work(0, 64)});
@@ -206,13 +223,15 @@ TEST(GpuWorkerProtocol, StalenessZeroWithoutConcurrentWriters) {
 
 TEST(GpuWorkerProtocol, GpuClockIncludesTransfersAndKernels) {
   Rig rig;
-  GpuWorker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator);
+  Worker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                ExecMode::kReplica);
   rig.coordinator.start();
   worker.start();
   worker.send({msg::kCoordinator, rig.work(0, 128)});
   msg::ScheduleWork report = rig.coordinator.wait_for_report(0);
-  // At least the model upload + download at PCIe bandwidth.
-  gpusim::PerfModel perf(rig.config.gpu.spec);
+  // At least the model upload + download at PCIe bandwidth. The charge is
+  // backend-independent: every backend models config.gpu.spec.
+  backend::PerfModel perf(rig.config.gpu.spec);
   const std::uint64_t model_bytes =
       rig.model.parameter_count() * sizeof(tensor::Scalar);
   EXPECT_GT(report.clock_vtime, 2.0 * perf.transfer_seconds(model_bytes) -
@@ -220,6 +239,46 @@ TEST(GpuWorkerProtocol, GpuClockIncludesTransfersAndKernels) {
   worker.send({msg::kCoordinator, msg::Shutdown{}});
   worker.join();
   rig.coordinator.join();
+}
+
+TEST(GpuWorkerProtocol, ShutdownReleasesDeviceBuffers) {
+  Rig rig;
+  Worker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                ExecMode::kReplica);
+  EXPECT_GT(worker.device_backend().bytes_in_use(), 0u);
+  rig.coordinator.start();
+  worker.start();
+  worker.send({msg::kCoordinator, rig.work(0, 64)});
+  rig.coordinator.wait_for_report(0);
+  worker.send({msg::kCoordinator, msg::Shutdown{}});
+  worker.join();
+  rig.coordinator.join();
+  // Worker retirement must return the replica to the device allocator: a
+  // retired elastic worker cannot pin device memory.
+  EXPECT_EQ(worker.device_backend().bytes_in_use(), 0u);
+}
+
+TEST(WorkerState, SerializeRestoreRoundTripsBothModes) {
+  Rig rig;
+  for (ExecMode mode : {ExecMode::kHogwild, ExecMode::kReplica}) {
+    Worker worker(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                  mode, 2);
+    const std::vector<std::uint8_t> blob = worker.serialize_state();
+    ASSERT_FALSE(blob.empty());
+    // The pre-seam on-disk tags survive the unification: checkpoints cut
+    // by the old CpuWorker/GpuWorker restore into the unified Worker.
+    EXPECT_EQ(blob[0], mode == ExecMode::kHogwild ? 'C' : 'G');
+    Worker twin(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                mode, 2);
+    std::string error;
+    EXPECT_TRUE(twin.restore_state(blob, &error)) << error;
+    // Cross-mode restore must be refused, not misparsed.
+    Worker other(0, rig.config, rig.dataset, rig.model, rig.coordinator,
+                 mode == ExecMode::kHogwild ? ExecMode::kReplica
+                                            : ExecMode::kHogwild,
+                 2);
+    EXPECT_FALSE(other.restore_state(blob, &error));
+  }
 }
 
 }  // namespace
