@@ -9,17 +9,30 @@
 #   2. clang build with -Wthread-safety -Werror      (skipped if no clang++)
 #   3. clang-tidy, repo profile                      (skipped if absent)
 #   4. hetsgd-lint over compile_commands.json        (always)
+#   4d. hetsgd-analyze semantic invariants           (always; libclang
+#       frontend when importable, builtin otherwise)
 #   5. TSan: chaos smoke + concurrency suites        (skip with --fast)
 #   6. ASan+UBSan ctest                              (skip with --fast)
 #
 # Usage:
-#   scripts/check_all.sh          # everything
-#   scripts/check_all.sh --fast   # static gates only (1-4)
+#   scripts/check_all.sh                  # everything
+#   scripts/check_all.sh --fast           # static gates only (1-4d)
+#   scripts/check_all.sh --require-tools  # SKIPs become failures: gates 2/3
+#                                         # need clang/clang-tidy and gate 4d
+#                                         # needs libclang (CI uses this)
+# Flags combine; order does not matter.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+REQUIRE_TOOLS=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --require-tools) REQUIRE_TOOLS=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 JOBS=${JOBS:-$(nproc)}
 
 note() { printf '\n=== %s ===\n' "$*"; }
@@ -55,6 +68,9 @@ if command -v clang++ >/dev/null 2>&1; then
     -DCMAKE_CXX_COMPILER=clang++ -DHETSGD_WERROR=ON >/dev/null
   cmake --build build-clang -j"$JOBS"
   echo "gate 2: PASS"
+elif [[ "$REQUIRE_TOOLS" == "1" ]]; then
+  echo "gate 2: FAIL (--require-tools set but clang++ not installed)"
+  exit 1
 else
   echo "gate 2: SKIP (clang++ not installed; thread-safety attributes are"
   echo "         compiled out under gcc — install clang to enforce them)"
@@ -65,6 +81,9 @@ note "gate 3: clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --build build --target tidy
   echo "gate 3: PASS"
+elif [[ "$REQUIRE_TOOLS" == "1" ]]; then
+  echo "gate 3: FAIL (--require-tools set but clang-tidy not installed)"
+  exit 1
 else
   echo "gate 3: SKIP (clang-tidy not installed)"
 fi
@@ -75,6 +94,24 @@ python3 tools/lint/hetsgd_lint.py --self-test
 python3 tools/lint/hetsgd_lint.py \
   --compile-commands build/compile_commands.json
 echo "gate 4: PASS"
+
+# --- 4d. hetsgd-analyze ------------------------------------------------------
+# Semantic invariants (DESIGN.md §14): lock-acquisition cycles, checkpoint
+# field coverage, message-variant exhaustiveness, relaxed-atomic discipline
+# and the AST-level core wall-clock ban. Runs everywhere via the builtin
+# frontend; under --require-tools the libclang frontend is mandatory so CI
+# checks the compiler's view of the record layouts.
+note "gate 4d: hetsgd-analyze (self-test + tree)"
+ANALYZE_FLAGS=""
+if [[ "$REQUIRE_TOOLS" == "1" ]]; then
+  ANALYZE_FLAGS="--frontend clang --require-clang"
+fi
+# shellcheck disable=SC2086  # deliberate word-splitting of the flag list
+python3 tools/analyze/hetsgd_analyze.py --self-test $ANALYZE_FLAGS
+# shellcheck disable=SC2086
+python3 tools/analyze/hetsgd_analyze.py \
+  --compile-commands build/compile_commands.json $ANALYZE_FLAGS
+echo "gate 4d: PASS"
 
 # --- 4b. tracing overhead ----------------------------------------------------
 # micro_trace gates the obs layer's wall-time tax (<3%, DESIGN.md §12)

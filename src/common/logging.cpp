@@ -25,11 +25,15 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 void set_log_level(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  // Release/acquire so a thread that observes the new level also observes
+  // everything the configuring thread did before raising it (free on
+  // x86-64; a relaxed level read is not worth an unordered visibility
+  // surprise on weaker machines).
+  g_level.store(static_cast<int>(level), std::memory_order_release);
 }
 
 LogLevel log_level() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(g_level.load(std::memory_order_acquire));
 }
 
 bool parse_log_level(const std::string& name, LogLevel& out) {
@@ -43,7 +47,7 @@ bool parse_log_level(const std::string& name, LogLevel& out) {
 }
 
 void log_message(LogLevel level, const char* tag, const char* fmt, ...) {
-  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_acquire)) {
     return;
   }
   char body[1024];

@@ -35,9 +35,9 @@ template <typename T>
 class MpscQueue {
  public:
   MpscQueue() {
-    // hetsgd-lint: allow(naked-new) intrusive queue nodes are the one
-    // sanctioned manual-allocation site; ownership transfers through the
-    // lock-free list, which unique_ptr cannot express.
+    // Intrusive queue nodes are the one sanctioned manual-allocation site
+    // (hetsgd-lint exempts this file from naked-new); ownership transfers
+    // through the lock-free list, which unique_ptr cannot express.
     Node* stub = new Node();
     head_.store(stub, std::memory_order_relaxed);
     tail_ = stub;
@@ -50,8 +50,6 @@ class MpscQueue {
     Node* node = tail_;
     while (node != nullptr) {
       Node* next = node->next.load(std::memory_order_relaxed);
-      // hetsgd-lint: allow(naked-new) node teardown mirrors the manual
-      // allocation above.
       delete node;
       node = next;
     }
@@ -60,7 +58,6 @@ class MpscQueue {
   // Multi-producer push. Returns false if the queue has been closed.
   bool push(T value) HETSGD_EXCLUDES(wake_mutex_) {
     if (closed_.load(std::memory_order_acquire)) return false;
-    // hetsgd-lint: allow(naked-new) see constructor.
     Node* node = new Node(std::move(value));
     Node* prev = head_.exchange(node, std::memory_order_acq_rel);
     prev->next.store(node, std::memory_order_release);
@@ -80,8 +77,7 @@ class MpscQueue {
     if (next == nullptr) return std::nullopt;
     std::optional<T> value(std::move(next->value));
     tail_ = next;
-    // hetsgd-lint: allow(naked-new) consumed node is retired here; see
-    // constructor.
+    // Consumed node is retired here; see the constructor comment.
     delete tail;
     return value;
   }

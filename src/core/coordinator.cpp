@@ -137,6 +137,8 @@ void Coordinator::on_start() {
 bool Coordinator::handle(msg::Envelope envelope) {
   MutexLock lock(mu_);
   idle_ticks_ = 0;  // any message is a sign of life; restart the silence window
+  // hetsgd-analyze: dispatch ignores(ExecuteWork, Shutdown, StateRequest) —
+  // worker-bound messages the coordinator only ever sends, never receives.
   if (std::holds_alternative<msg::ScheduleWork>(envelope.message)) {
     on_schedule(std::get<msg::ScheduleWork>(envelope.message));
   } else if (std::holds_alternative<msg::WorkerFault>(envelope.message)) {

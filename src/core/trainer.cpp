@@ -327,10 +327,14 @@ TrainingResult Trainer::run_framework() {
   if (!elastic.empty()) {
     elastic_thread = std::thread([&] {
       std::size_t next = 0;
+      // Acquire pairs with the release store below: when the controller
+      // thread sees the stop flag it also sees the coordinator's final
+      // state, not a stale view from before join() returned.
       while (next < elastic.events.size() &&
-             !elastic_stop.load(std::memory_order_relaxed)) {
+             !elastic_stop.load(std::memory_order_acquire)) {
         const ElasticEvent& ev = elastic.events[next];
         if (coordinator.final_vtime() < ev.at_vtime) {
+          // hetsgd-analyze: allow(wall-clock-core) same sanction as below.
           // hetsgd-lint: allow(wall-clock) the controller models an
           // operator outside the virtual-time system; it polls in real time.
           std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -373,7 +377,7 @@ TrainingResult Trainer::run_framework() {
   }
 
   coordinator.join();
-  elastic_stop.store(true, std::memory_order_relaxed);
+  elastic_stop.store(true, std::memory_order_release);
   if (elastic_thread.joinable()) elastic_thread.join();
   if (cpu_worker) cpu_worker->join();
   for (auto& g : gpu_workers) g->join();

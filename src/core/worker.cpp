@@ -102,6 +102,9 @@ void Worker::release_scratch() {
 }
 
 bool Worker::handle(msg::Envelope envelope) {
+  // hetsgd-analyze: dispatch ignores(ScheduleWork, WorkerFault, ShutdownAck,
+  // WorkerJoin, WorkerRetire, StateReport) — coordinator-bound messages; a
+  // worker mailbox only ever receives work, state probes, and shutdown.
   if (std::holds_alternative<msg::ExecuteWork>(envelope.message)) {
     return execute(std::get<msg::ExecuteWork>(envelope.message));
   }
@@ -180,6 +183,7 @@ bool Worker::execute_hogwild(const msg::ExecuteWork& work) {
     stall = fault_plan_->stall(id_, clock_.now());
     if (stall.sleep_ms > 0) {
       // Real stall: visible to the coordinator's real-time grace fallback.
+      // hetsgd-analyze: allow(wall-clock-core) same sanction as below.
       // hetsgd-lint: allow(wall-clock) injected stalls must consume real
       // time, not virtual time, to exercise real-time silence detection.
       std::this_thread::sleep_for(std::chrono::milliseconds(stall.sleep_ms));
@@ -292,6 +296,7 @@ bool Worker::execute_replica(const msg::ExecuteWork& work) {
     }
     stall = fault_plan_->stall(id_, clock_.now());
     if (stall.sleep_ms > 0) {
+      // hetsgd-analyze: allow(wall-clock-core) same sanction as below.
       // hetsgd-lint: allow(wall-clock) injected stalls must consume real
       // time, not virtual time, to exercise real-time silence detection.
       std::this_thread::sleep_for(std::chrono::milliseconds(stall.sleep_ms));

@@ -15,7 +15,9 @@ namespace hetsgd::obs {
 
 // Nanoseconds since an arbitrary process-global steady epoch.
 inline std::uint64_t wall_now_ns() {
-  // hetsgd-lint: allow(wall-clock) obs clock shim is the sanctioned read site
+  // The obs clock shim is the sanctioned raw-clock read site (the lint's
+  // wall-clock rule is src/core/-scoped; everything in core borrows real
+  // time through here).
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())

@@ -1,0 +1,22 @@
+// Broken fixture for atomic-discipline: an unsanctioned relaxed store
+// next to a waived probe and a correct acquire/release pair.
+#include <atomic>
+
+struct Flags {
+  void set() {
+    ready_.store(true, std::memory_order_relaxed);  // EXPECT: atomic-discipline
+  }
+  bool probe() const {
+    // hetsgd-analyze: allow(atomic-discipline) fixture: sanctioned probe
+    return probe_.load(std::memory_order_relaxed);
+  }
+  void publish() {
+    done_.store(true, std::memory_order_release);
+  }
+  bool consume() const {
+    return done_.load(std::memory_order_acquire);
+  }
+  std::atomic<bool> ready_{false};
+  std::atomic<bool> probe_{false};
+  std::atomic<bool> done_{false};
+};

@@ -1,0 +1,29 @@
+#include "checkpoint.hpp"
+
+void sink(double v);
+
+namespace {
+
+void write_stats(const EmbeddedStats& s) {
+  sink(static_cast<double>(s.updates));
+  sink(static_cast<double>(s.batches));
+}
+
+void read_stats(EmbeddedStats& s) {
+  s.updates = 0;  // batches and busy forgotten: the rule must notice
+}
+
+}  // namespace
+
+void write_training_checkpoint(const TrainingCheckpoint& c) {
+  sink(static_cast<double>(c.sequence));
+  sink(c.lr_scale);  // written but never read back
+  for (double v : c.curve) sink(v);
+  write_stats(c.stats);
+}
+
+void read_training_checkpoint(TrainingCheckpoint& c) {
+  c.sequence = 0;
+  c.curve.clear();
+  read_stats(c.stats);
+}

@@ -1,0 +1,26 @@
+// Broken fixture for ckpt-field-coverage: the serializers below miss
+// three fields in three different ways (write-only, absent from both,
+// embedded-struct read gap). A waived scratch field and a static member
+// must stay silent.
+#pragma once
+#include <cstdint>
+#include <vector>
+
+struct EmbeddedStats {
+  std::uint64_t updates = 0;
+  std::uint64_t batches = 0;  // EXPECT: ckpt-field-coverage
+  double busy = 0.0;          // EXPECT: ckpt-field-coverage
+};
+
+struct TrainingCheckpoint {
+  std::uint64_t sequence = 0;
+  double lr_scale = 1.0;  // EXPECT: ckpt-field-coverage
+  std::vector<double> curve;
+  EmbeddedStats stats;
+  // hetsgd-analyze: allow(ckpt-field-coverage) scratch value, rebuilt on load
+  double scratch = 0.0;
+  static int kVersion;
+};
+
+void write_training_checkpoint(const TrainingCheckpoint& c);
+void read_training_checkpoint(TrainingCheckpoint& c);

@@ -1,0 +1,8 @@
+#include "state.hpp"
+
+void sink(double v);
+
+void write_training_checkpoint(const TrainingCheckpoint& c) {
+  sink(static_cast<double>(c.sequence));
+  sink(c.loss);
+}

@@ -1,0 +1,12 @@
+// Broken fixture: the checkpoint struct exists but its read serializer
+// drifted away (renamed / deleted), so coverage cannot be checked at all —
+// the rule must say so instead of passing vacuously.
+#pragma once
+#include <cstdint>
+
+struct TrainingCheckpoint {  // EXPECT: ckpt-field-coverage
+  std::uint64_t sequence = 0;
+  double loss = 0.0;
+};
+
+void write_training_checkpoint(const TrainingCheckpoint& c);

@@ -1,0 +1,27 @@
+#include "checkpoint.hpp"
+
+void sink(double v);
+
+namespace {
+
+void write_rng(const EmbeddedRng& r) {
+  sink(static_cast<double>(r.word));
+}
+
+void read_rng(EmbeddedRng& r) {
+  r.word = 0;
+}
+
+}  // namespace
+
+void write_training_checkpoint(const TrainingCheckpoint& c) {
+  sink(static_cast<double>(c.sequence));
+  sink(c.loss);
+  write_rng(c.rng);
+}
+
+void read_training_checkpoint(TrainingCheckpoint& c) {
+  c.sequence = 0;
+  c.loss = 0.0;
+  read_rng(c.rng);
+}

@@ -1,0 +1,15 @@
+#pragma once
+#include <cstdint>
+
+struct EmbeddedRng {
+  std::uint64_t word = 0;
+};
+
+struct TrainingCheckpoint {
+  std::uint64_t sequence = 0;
+  double loss = 0.0;
+  EmbeddedRng rng;
+};
+
+void write_training_checkpoint(const TrainingCheckpoint& c);
+void read_training_checkpoint(TrainingCheckpoint& c);

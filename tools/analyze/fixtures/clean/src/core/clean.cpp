@@ -1,0 +1,41 @@
+// Clean-tree fixture: every rule engages here and must report nothing —
+// consistent lock order (including a REQUIRES-annotated helper), an
+// exhaustive dispatch, an allowlisted relaxed counter next to an
+// acquire/release pair, and no wall clocks anywhere in core.
+#include <atomic>
+
+#include "../msg.hpp"
+
+struct AnnotatedMutex {
+  void lock();
+  void unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(AnnotatedMutex& mu);
+};
+
+struct Engine {
+  void step() {
+    MutexLock lo(outer_);
+    MutexLock li(inner_);
+    locked_tick();
+  }
+  void locked_tick() HETSGD_REQUIRES(outer_) {
+    MutexLock li(inner_);
+  }
+  int handle(const Message& m) {
+    if (std::holds_alternative<Tick>(m)) return on_tick();
+    if (std::holds_alternative<Stop>(m)) return 0;
+    return -1;
+  }
+  int on_tick() {
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+    published_.store(true, std::memory_order_release);
+    return published_.load(std::memory_order_acquire) ? 1 : 0;
+  }
+  AnnotatedMutex outer_;
+  AnnotatedMutex inner_;
+  std::atomic<long> ticks_{0};
+  std::atomic<bool> published_{false};
+};

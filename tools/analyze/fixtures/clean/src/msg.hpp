@@ -1,0 +1,11 @@
+#pragma once
+#include <variant>
+
+struct Tick {
+  long at = 0;
+};
+struct Stop {
+  int code = 0;
+};
+
+using Message = std::variant<Tick, Stop>;

@@ -1,0 +1,71 @@
+// Broken fixture for lock-order: two deliberate cycles (a lexical AB/BA
+// inversion and a REQUIRES+call-graph inversion), one consistent pair
+// that must stay silent, and one waived cycle.
+
+struct AnnotatedMutex {
+  void lock();
+  void unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(AnnotatedMutex& mu);
+};
+
+// Lexical inversion: ab() nests a under b, ba() nests b under a.
+struct Alpha {
+  void ab() {
+    MutexLock la(mu_a);
+    MutexLock lb(mu_b);  // EXPECT: lock-order
+  }
+  void ba() {
+    MutexLock lb(mu_b);
+    MutexLock la(mu_a);
+  }
+  AnnotatedMutex mu_a;
+  AnnotatedMutex mu_b;
+};
+
+// Interprocedural inversion: locks_d() acquires d with c held (REQUIRES),
+// other() calls into helper() — which acquires c — while holding d.
+struct Beta {
+  void locks_d() HETSGD_REQUIRES(mu_c) {
+    MutexLock ld(mu_d);  // EXPECT: lock-order
+  }
+  void other() {
+    MutexLock ld(mu_d);
+    helper();
+  }
+  void helper() {
+    MutexLock lc(mu_c);
+  }
+  AnnotatedMutex mu_c;
+  AnnotatedMutex mu_d;
+};
+
+// Consistent order everywhere: no finding.
+struct Gamma {
+  void both() {
+    MutexLock lx(mu_x);
+    MutexLock ly(mu_y);
+  }
+  void partial() {
+    MutexLock lx(mu_x);
+  }
+  AnnotatedMutex mu_x;
+  AnnotatedMutex mu_y;
+};
+
+// Waived cycle: the allow() on one witness site silences the report.
+struct Delta {
+  void pq() {
+    MutexLock lp(mu_p);
+    // hetsgd-analyze: allow(lock-order) fixture: sanctioned teardown path
+    MutexLock lq(mu_q);
+  }
+  void qp() {
+    MutexLock lq(mu_q);
+    MutexLock lp(mu_p);
+  }
+  AnnotatedMutex mu_p;
+  AnnotatedMutex mu_q;
+};

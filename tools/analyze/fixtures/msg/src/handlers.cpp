@@ -1,0 +1,56 @@
+// Broken fixture for msg-exhaustive: a dispatcher that forgot Quit, a
+// stale ignores() annotation, an ignores()/handled overlap, and a
+// non-exhaustive std::visit — next to correct and correctly-annotated
+// dispatchers that must stay silent.
+#include "message.hpp"
+
+int bad_dispatch(const Message& m) {
+  if (std::holds_alternative<Ping>(m)) {  // EXPECT: msg-exhaustive
+    return 1;
+  }
+  if (std::holds_alternative<Pong>(m)) {
+    return 2;
+  }
+  return 0;  // Quit silently dropped: exactly the bug this rule exists for
+}
+
+int good_dispatch(const Message& m) {
+  if (std::holds_alternative<Ping>(m)) return 1;
+  if (std::holds_alternative<Pong>(m)) return 2;
+  if (std::holds_alternative<Quit>(m)) return 3;
+  return 0;
+}
+
+int annotated_dispatch(const Message& m) {
+  // hetsgd-analyze: dispatch ignores(Quit) — fixture: Quit handled upstream
+  if (std::holds_alternative<Ping>(m)) return 1;
+  if (std::holds_alternative<Pong>(m)) return 2;
+  return 0;
+}
+
+int stale_dispatch(const Message& m) {
+  // hetsgd-analyze: dispatch ignores(Gone)
+  if (std::holds_alternative<Ping>(m)) return 1;  // EXPECT: msg-exhaustive
+  if (std::holds_alternative<Pong>(m)) return 2;
+  if (std::holds_alternative<Quit>(m)) return 3;
+  return 0;
+}
+
+int overlap_dispatch(const Message& m) {
+  // hetsgd-analyze: dispatch ignores(Quit, Pong)
+  if (std::holds_alternative<Ping>(m)) return 1;  // EXPECT: msg-exhaustive
+  if (std::holds_alternative<Pong>(m)) return 2;
+  return 0;
+}
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+
+int visit_dispatch(const Message& m) {
+  return std::visit(  // EXPECT: msg-exhaustive
+      Overloaded{[](const Ping&) { return 1; },
+                 [](const Pong&) { return 2; }},
+      m);
+}

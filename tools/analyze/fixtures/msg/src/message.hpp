@@ -1,0 +1,14 @@
+#pragma once
+#include <variant>
+
+struct Ping {
+  int seq = 0;
+};
+struct Pong {
+  int seq = 0;
+};
+struct Quit {
+  int code = 0;
+};
+
+using Message = std::variant<Ping, Pong, Quit>;

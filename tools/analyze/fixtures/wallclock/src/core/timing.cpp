@@ -1,0 +1,23 @@
+// Broken fixture for wall-clock-core: direct and *aliased* clock reads,
+// a sleep, and a time() call inside src/core/ — while plain duration
+// construction and a waived shim stay silent.
+#include <chrono>
+#include <thread>
+
+using wall = std::chrono::steady_clock;
+
+double poll_loop() {
+  auto t0 = wall::now();                                       // EXPECT: wall-clock-core
+  auto t1 = std::chrono::steady_clock::now();                  // EXPECT: wall-clock-core
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));   // EXPECT: wall-clock-core
+  long stamp = time(nullptr);                                  // EXPECT: wall-clock-core
+  auto budget = std::chrono::milliseconds(20);  // a duration, not a clock read
+  // hetsgd-analyze: allow(wall-clock-core) fixture: sanctioned realtime shim
+  auto t2 = wall::now();
+  (void)t0;
+  (void)t1;
+  (void)stamp;
+  (void)budget;
+  (void)t2;
+  return 0.0;
+}

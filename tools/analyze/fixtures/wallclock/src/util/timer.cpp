@@ -1,0 +1,9 @@
+// Outside src/core/ wall clocks are legitimate (obs exporters, CLI
+// timing): no finding here.
+#include <chrono>
+
+double outside_core() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

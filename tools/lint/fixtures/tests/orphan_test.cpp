@@ -1,0 +1,2 @@
+// EXPECT: test-registration
+int main() { return 0; }

@@ -1,0 +1,2 @@
+// Registered in the fixture CMakeLists.txt: no finding.
+int main() { return 0; }

@@ -1,0 +1,2 @@
+// hetsgd-lint: allow(test-registration) fixture: intentionally manual test
+int main() { return 0; }

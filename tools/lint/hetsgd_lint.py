@@ -53,6 +53,12 @@ Rules (each a short, greppable id):
                     file honest: every suppressed symbol must be a
                     documented, sanctioned race site.
 
+  test-registration A `tests/*_test.cpp` file that is not registered in
+                    tests/CMakeLists.txt. An orphaned test file compiles
+                    in nobody's build and silently never runs — the suite
+                    looks green while the coverage it was written for is
+                    gone.
+
 Waivers: a line (or the line above it) containing
     // hetsgd-lint: allow(<rule>) <justification>
 suppresses that rule at that site. The justification is mandatory.
@@ -350,12 +356,46 @@ def lint_tsan_supp(root: str, findings: list[Finding]) -> None:
                     f"point at a documented sanctioned race"))
 
 
+def lint_test_registration(root: str, findings: list[Finding]) -> None:
+    """Every tests/*_test.cpp must be named in tests/CMakeLists.txt
+    (hetsgd_test(<stem>) or an explicit add_executable)."""
+    tests_dir = os.path.join(root, "tests")
+    cml = os.path.join(tests_dir, "CMakeLists.txt")
+    if not os.path.isdir(tests_dir) or not os.path.exists(cml):
+        return
+    try:
+        with open(cml, encoding="utf-8") as f:
+            cml_text = f.read()
+    except OSError:
+        return
+    for name in sorted(os.listdir(tests_dir)):
+        if not name.endswith("_test.cpp"):
+            continue
+        stem = name[: -len(".cpp")]
+        if re.search(rf"\b{re.escape(stem)}\b", cml_text):
+            continue
+        path = os.path.join(tests_dir, name)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                lines = f.read().splitlines()
+        except OSError:
+            lines = []
+        if "test-registration" in waiver_rules(lines, 0):
+            continue
+        findings.append(Finding(
+            "test-registration", path, 1,
+            f"{name} is not registered in tests/CMakeLists.txt — the test "
+            f"never builds or runs; add hetsgd_test({stem}) (or waive it "
+            f"with a reason if it is intentionally manual)"))
+
+
 def run_lint(root: str, compile_commands: str | None) -> int:
     findings: list[Finding] = []
     for path in iter_source_files(root, compile_commands):
         lint_file(root, path, findings)
     lint_gpusim_includes_outside_src(root, findings)
     lint_tsan_supp(root, findings)
+    lint_test_registration(root, findings)
     for f in findings:
         print(f.format(root))
     if findings:
@@ -377,6 +417,7 @@ def self_test(root: str) -> int:
     findings: list[Finding] = []
     lint_file(supp_root, bad, findings)
     lint_tsan_supp(supp_root, findings)
+    lint_test_registration(supp_root, findings)
     got = {(f.rule, os.path.basename(f.path), f.line) for f in findings}
 
     expected = set()
@@ -385,6 +426,16 @@ def self_test(root: str) -> int:
             m = re.search(r"//\s*EXPECT:\s*([a-z0-9-]+)", line)
             if m:
                 expected.add((m.group(1), os.path.basename(bad), lineno))
+    tests_fix = os.path.join(supp_root, "tests")
+    if os.path.isdir(tests_fix):
+        for name in sorted(os.listdir(tests_fix)):
+            if not name.endswith(".cpp"):
+                continue
+            with open(os.path.join(tests_fix, name), encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    m = re.search(r"//\s*EXPECT:\s*([a-z0-9-]+)", line)
+                    if m:
+                        expected.add((m.group(1), name, lineno))
     with open(os.path.join(supp_root, "scripts", "tsan.supp"),
               encoding="utf-8") as f:
         for lineno, line in enumerate(f, start=1):
